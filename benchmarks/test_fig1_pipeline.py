@@ -1,0 +1,36 @@
+"""F1 — Fig. 1: the train/infer pipeline overview.
+
+Fig. 1 is an architecture diagram; the runnable equivalent is a smoke pass
+through every box: trace → features (+ runtime model) → classifier +
+regressor training → Algorithm 1 inference producing user-facing strings.
+The bench times a batched hierarchical inference pass (the CLI's hot path —
+the paper reports "only a few seconds" for single-job inference on one
+CPU).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, once
+
+
+def test_fig1_pipeline_inference(benchmark, bench_fm, bench_trained):
+    fm, _ = bench_fm
+    model = bench_trained.model
+    X = fm.X[-5000:]
+
+    minutes = once(benchmark, lambda: model.predict_minutes(X))
+
+    msgs = model.predict_messages(X[-5:])
+    emit(
+        "fig1_pipeline",
+        "\n".join(
+            [
+                f"hierarchical inference over {len(X)} jobs",
+                f"quick-start fraction: {np.mean(minutes == model.cutoff_min / 2):.3f}",
+                "sample Algorithm-1 outputs:",
+                *[f"  {m}" for m in msgs],
+            ]
+        ),
+    )
+    assert len(minutes) == len(X)
+    assert all(m.startswith("Predicted to") for m in msgs)

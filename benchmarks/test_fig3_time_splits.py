@@ -1,0 +1,38 @@
+"""F3 — Fig. 3: the time-series split layout.
+
+Fig. 3 illustrates expanding-window time-series CV.  The bench prints the
+exact fold boundaries used everywhere in the reproduction (5 folds, test
+size one-sixth of the trace, §III) and asserts the layout's invariants.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.data.splits import TimeSeriesSplit
+from repro.eval.report import format_table
+
+
+def test_fig3_split_layout(benchmark, bench_fm, bench_config):
+    fm, _ = bench_fm
+    splitter = TimeSeriesSplit(bench_config.n_splits, bench_config.test_fraction)
+
+    bounds = once(benchmark, lambda: splitter.fold_bounds(len(fm)))
+
+    rows = [
+        [b["fold"], b["train_start"], b["train_end"], b["test_start"], b["test_end"]]
+        for b in bounds
+    ]
+    emit(
+        "fig3_time_splits",
+        format_table(
+            ["fold", "train start", "train end", "test start", "test end"], rows
+        ),
+    )
+
+    assert len(bounds) == 5
+    ts = splitter.test_size(len(fm))
+    for b in bounds:
+        assert b["test_start"] == b["train_end"]  # no gap, no overlap
+        assert b["test_end"] - b["test_start"] <= ts
+    # Expanding training window; final fold tests the most recent sixth.
+    ends = [b["train_end"] for b in bounds]
+    assert ends == sorted(ends)
+    assert bounds[-1]["test_end"] == len(fm)

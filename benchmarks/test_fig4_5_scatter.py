@@ -1,0 +1,39 @@
+"""F4/F5 — Figs. 4 & 5: predicted-vs-actual scatter, folds 4 and 5.
+
+§IV: "a correlation of Pearson's r = 0.7532 for the final split (Fig. 5),
+as well as a visibly linear trend in the previous split (Fig. 4)".  The
+bench regenerates both folds' scatter series and reports Pearson r; the
+shape check is a clearly positive correlation on the data-rich final folds.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, once
+from repro.eval.metrics import pearson_r
+from repro.eval.report import ascii_scatter, scatter_series
+
+
+def test_fig4_5_scatter_and_pearson(benchmark, bench_cv):
+    folds = {f.fold: f for f in bench_cv.folds}
+    f4, f5 = folds[4], folds[5]
+
+    series5 = once(benchmark, lambda: scatter_series(f5.y_true, f5.y_pred))
+
+    lines = []
+    for label, f in (("fold 4 (Fig. 4)", f4), ("fold 5 (Fig. 5)", f5)):
+        lines.append(
+            f"{label}: n={f.n_test}  pearson r={f.pearson:.4f}  mape={f.mape:.1f}%"
+        )
+    lines.append("paper: r = 0.7532 on the final fold")
+    lines.append("")
+    lines.append("fold 5 predicted-vs-actual (Fig. 5), log-log:")
+    lines.append(
+        ascii_scatter(series5["actual"], series5["predicted"], width=64, height=18)
+    )
+    emit("fig4_5_scatter", "\n".join(lines))
+
+    # Shape: clearly positive correlation on the late, data-rich folds.
+    assert max(f4.pearson, f5.pearson) > 0.3
+    assert min(f4.pearson, f5.pearson) > -0.2
+    # Series align with the fold's metric.
+    np.testing.assert_allclose(pearson_r(f5.y_true, f5.y_pred), f5.pearson)

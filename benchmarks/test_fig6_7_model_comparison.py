@@ -1,0 +1,31 @@
+"""F6/F7 — Figs. 6 & 7: average percent error by model, folds 4 and 5.
+
+§IV: "Our neural network model outperformed the other types of models
+across all splits … there did not appear to be a significant trend between
+which of the other three models performed best."  The bench trains the NN,
+XGBoost-style GBT, random forest and kNN on identical fold data and prints
+the per-model average percent error bars for both folds.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.eval.report import format_table
+
+
+def test_fig6_7_average_percent_error(benchmark, bench_comparison):
+    comparison = once(benchmark, lambda: bench_comparison)
+
+    lines = []
+    for fold in (4, 5):
+        series = comparison.series("mape", fold)
+        rows = [[m, v] for m, v in sorted(series.items(), key=lambda kv: kv[1])]
+        lines.append(f"fold {fold} (Fig. {'6' if fold == 4 else '7'}):")
+        lines.append(format_table(["model", "avg percent error"], rows))
+        lines.append("")
+    lines.append("paper: neural net lowest on every fold")
+    emit("fig6_7_model_comparison", "\n".join(lines))
+
+    # Shape: the NN wins (lowest average percent error) on both folds.
+    for fold in (4, 5):
+        assert comparison.winner("mape", fold) == "neural_net", (
+            f"fold {fold}: {comparison.series('mape', fold)}"
+        )

@@ -1,0 +1,35 @@
+"""R1 — §IV: classifier binary accuracy.
+
+Paper: "The classification model had a binary accuracy of 90.48 % with
+similar accuracy on both classes on a test set of the most recent 80,000
+jobs."  The bench trains the hierarchy on the past 80 % and evaluates the
+quick-start gate on the most recent 20 %, reporting overall and per-class
+accuracy.
+"""
+
+from benchmarks.conftest import emit, once
+from repro.eval.report import format_table
+
+
+def test_r1_classifier_holdout_accuracy(benchmark, bench_trained):
+    out = once(benchmark, lambda: bench_trained)
+
+    emit(
+        "r1_classifier_accuracy",
+        format_table(
+            ["metric", "value"],
+            [
+                ["overall accuracy", out.classifier_accuracy],
+                ["quick-start class accuracy", out.classifier_accuracy_quick],
+                ["long-wait class accuracy", out.classifier_accuracy_long],
+                ["holdout size", out.n_holdout],
+                ["paper overall", 0.9048],
+            ],
+            float_fmt="{:.4f}",
+        ),
+    )
+
+    # Shape: ~90 % regime, both classes clearly learned.
+    assert out.classifier_accuracy > 0.85
+    assert out.classifier_accuracy_quick > 0.7
+    assert out.classifier_accuracy_long > 0.7

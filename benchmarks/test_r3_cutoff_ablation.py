@@ -1,0 +1,78 @@
+"""R3 — §III: the 5 / 10 / 30-minute cutoff ablation.
+
+Paper: "Splitting the data at the 5-minute mark resulted in decreased
+performance for the regression model, with over twice the mean absolute
+percentage error as opposed to the 10-minute cutoff.  As for the 30-minute
+cutoff … performance increases were only marginal", so 10 minutes won on
+user experience + class balance grounds.  The bench sweeps the cutoff and
+reports late-fold regression MAPE plus the long-class base rate per cutoff.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from benchmarks.conftest import emit, once
+from repro.core import run_regression_cv
+from repro.eval.report import format_table
+
+
+def test_r3_cutoff_sweep(benchmark, bench_fm, bench_config):
+    fm, _ = bench_fm
+    q = fm.queue_time_min
+    cutoffs = (5.0, 10.0, 30.0)
+
+    def sweep():
+        rows = {}
+        for cutoff in cutoffs:
+            cfg = dataclasses.replace(bench_config, cutoff_min=cutoff)
+            cv = run_regression_cv(fm, cfg)
+            rows[cutoff] = cv
+        return rows
+
+    results = once(benchmark, sweep)
+
+    table = []
+    for cutoff in cutoffs:
+        cv = results[cutoff]
+        base_rate = float(np.mean(q > cutoff))
+        table.append(
+            [
+                f"{cutoff:.0f} min",
+                cv.mape_last3,
+                min(f.mape for f in cv.folds[-3:]),
+                100 * base_rate,
+            ]
+        )
+    emit(
+        "r3_cutoff_ablation",
+        "\n".join(
+            [
+                format_table(
+                    [
+                        "cutoff",
+                        "MAPE last-3 mean %",
+                        "best late fold %",
+                        "long-class rate %",
+                    ],
+                    table,
+                ),
+                "paper: 5-min cutoff roughly doubles regression MAPE; 30-min "
+                "only marginally better than 10-min",
+            ]
+        ),
+    )
+
+    # Shape: lowering the cutoff to 5 min pulls barely-late jobs into the
+    # regression set and gives no improvement (the paper saw it *hurt* by
+    # ~2x on Anvil; on the synthetic trace the effect is directionally
+    # neutral-to-negative, never positive); 30 min does not massively beat
+    # 10 min.
+    mape5 = results[5.0].mape_last3
+    mape10 = results[10.0].mape_last3
+    mape30 = results[30.0].mape_last3
+    assert mape5 > 0.85 * mape10, (mape5, mape10)
+    assert mape30 > 0.3 * mape10  # no dramatic free win from 30 min
+    # Class balance shrinks with the cutoff (why 30 min risks data paucity).
+    rates = [np.mean(q > c) for c in cutoffs]
+    assert rates[0] > rates[1] > rates[2]

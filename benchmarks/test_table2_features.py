@@ -1,0 +1,50 @@
+"""T2 — Table II: the engineered feature set.
+
+Regenerates the full 33-column matrix over the benchmark trace, prints a
+summary row per feature (min/mean/max of the raw values), and checks the
+structural facts Table II implies: every feature exists, is finite, the
+"ahead" aggregates are subsets of the "queue" aggregates, and the static
+spec columns take exactly the per-partition values.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import emit, once
+from repro.eval.report import format_table
+from repro.features.names import FEATURE_NAMES
+from repro.features.pipeline import FeaturePipeline
+
+
+def test_table2_feature_matrix(benchmark, bench_trace, bench_fm):
+    result, cluster = bench_trace
+    fm, runtime = bench_fm
+
+    # Timed section: one full pipeline pass (raw scale for the summary).
+    pipeline = FeaturePipeline(cluster, log_transform=False)
+    pred = runtime.predict_minutes(result.jobs)
+    raw = once(benchmark, lambda: pipeline.compute(result.jobs, pred_runtime_min=pred))
+
+    rows = []
+    for j, name in enumerate(FEATURE_NAMES):
+        col = raw.X[:, j]
+        rows.append([name, float(col.min()), float(col.mean()), float(col.max())])
+    emit(
+        "table2_features",
+        format_table(["feature", "min", "mean", "max"], rows, float_fmt="{:.2f}"),
+    )
+
+    assert raw.X.shape[1] == 33
+    assert np.all(np.isfinite(raw.X))
+    names = list(FEATURE_NAMES)
+    X = raw.X
+    # Ahead ⊆ queue, per aggregate.
+    for kind in ("jobs", "cpus", "mem", "nodes", "timelimit"):
+        a = X[:, names.index(f"par_{kind}_ahead")]
+        q = X[:, names.index(f"par_{kind}_queue")]
+        assert np.all(a <= q + 1e-6), kind
+    # Static specs take one value per partition.
+    parts = result.jobs.column("partition")
+    for name in ("par_total_nodes", "par_total_cpu", "par_total_gpu"):
+        col = X[:, names.index(name)]
+        for p in np.unique(parts):
+            assert len(np.unique(col[parts == p])) == 1

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a cluster, train TROUT, predict queue times.
+
+The five-minute tour of the public API:
+
+1. generate a synthetic Anvil-like accounting trace (the stand-in for the
+   paper's 3.8 M-job Slurm history),
+2. engineer the Table II features (interval trees + runtime model),
+3. train the hierarchical model (quick-start classifier + queue-time
+   regressor),
+4. ask it about some jobs, Algorithm-1 style.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import TroutConfig, train_trout
+from repro.core.training import build_feature_matrix
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def main() -> None:
+    # 1. A miniature Anvil under bursty load.  ~20 s on a laptop.
+    print("simulating workload...")
+    trace, cluster = generate_trace(
+        WorkloadConfig(n_jobs=20_000, seed=7, load=0.32, cluster_scale=0.05)
+    )
+    q = trace.queue_time_min
+    print(
+        f"  {len(trace.jobs)} jobs, {100 * np.mean(q < 10):.1f}% queued under "
+        f"10 min (paper: 87%), longest wait {q.max() / 60:.1f} h"
+    )
+
+    # 2. Table II features: partition snapshots via interval trees, user
+    #    history, static specs, and the RF runtime model's predictions.
+    print("engineering features...")
+    fm, runtime_model = build_feature_matrix(trace.jobs, cluster)
+    print(f"  feature matrix: {fm.X.shape[0]} jobs x {fm.X.shape[1]} features")
+
+    # 3. Train the hierarchy on the past 80 %, evaluate on the recent 20 %.
+    print("training TROUT...")
+    result = train_trout(fm, TroutConfig(seed=0))
+    print(f"  classifier holdout accuracy: {result.classifier_accuracy:.4f}")
+    print(f"  regressor MAPE on long-wait holdout jobs: "
+          f"{result.regression_mape_holdout:.1f}%")
+
+    # 4. Algorithm 1 on the most recent jobs.
+    print("\npredictions for the five most recent jobs:")
+    for job_row, msg, actual in zip(
+        trace.jobs.records[-5:],
+        result.model.predict_messages(fm.X[-5:]),
+        q[-5:],
+    ):
+        part = trace.jobs.partition_names[int(job_row["partition"])]
+        print(
+            f"  job {int(job_row['job_id'])} ({part}, "
+            f"{int(job_row['req_cpus'])} CPUs): {msg}   "
+            f"[actual: {actual:.1f} min]"
+        )
+
+
+if __name__ == "__main__":
+    main()

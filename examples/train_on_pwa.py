@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Train TROUT on a Parallel-Workloads-Archive trace.
+
+The paper's data is proprietary, but the PWA distributes real accounting
+logs from production systems in the 18-field standard SWF — which carries
+everything queue-time prediction needs (wait times included).  This
+example shows the complete path:
+
+    standard .swf file ──► JobSet ──► Table II features ──► TROUT
+
+Point ``--swf`` at any archive trace (e.g. ANL-Intrepid, CEA-Curie,
+KIT-FH2 from https://www.cs.huji.ac.il/labs/parallel/workload/).  Without
+a file, the example writes one itself from the simulator — exercising the
+identical parser and pipeline, offline.
+
+Run:  python examples/train_on_pwa.py [--swf TRACE.swf]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TroutConfig, train_trout
+from repro.core.config import RuntimeModelConfig
+from repro.core.runtime_model import RuntimePredictor
+from repro.data.pwa import read_standard_swf, write_standard_swf
+from repro.features.pipeline import FeaturePipeline
+from repro.slurm.resources import Cluster, NodePool, Partition
+from repro.workload import WorkloadConfig, generate_trace
+
+
+def cluster_for_trace(jobs, cpus_per_node=128):
+    """A generic cluster shape sized to the trace's partitions.
+
+    PWA traces don't describe the machine, so the static-spec features use
+    a pool generously sized to the largest observed request per queue.
+    """
+    max_cpus = int(jobs.column("req_cpus").max())
+    n_nodes = max(8, int(np.ceil(2.0 * max_cpus / cpus_per_node)))
+    mem_per_node = max(256.0, 2.0 * float(jobs.column("req_mem_gb").max()) / n_nodes)
+    pool = NodePool("p", n_nodes=n_nodes, cpus_per_node=cpus_per_node,
+                    mem_gb_per_node=mem_per_node)
+    partitions = [Partition(name, pool="p") for name in jobs.partition_names]
+    return Cluster("pwa", [pool], partitions)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--swf", type=Path, default=None, help="a standard SWF trace")
+    args = ap.parse_args()
+
+    if args.swf is None:
+        print("no --swf given: writing a synthetic standard-SWF file first...")
+        trace, _ = generate_trace(WorkloadConfig(n_jobs=20_000, seed=7, load=0.32))
+        args.swf = Path("/tmp/repro_synthetic.swf")
+        write_standard_swf(trace.jobs, args.swf)
+
+    print(f"reading {args.swf} ...")
+    jobs = read_standard_swf(args.swf)
+    q = jobs.queue_time_min
+    print(
+        f"  {len(jobs)} jobs, {len(jobs.partition_names)} queues, "
+        f"{100 * np.mean(q < 10):.1f}% under 10 min"
+    )
+
+    cluster = cluster_for_trace(jobs)
+    config = TroutConfig(seed=0)
+
+    # Leakage-safe runtime model on the oldest sixth, then the pipeline.
+    n_rt = max(10, len(jobs) // 6)
+    runtime = RuntimePredictor(RuntimeModelConfig(), seed=0).fit(
+        jobs[np.arange(n_rt)]
+    )
+    fm = FeaturePipeline(cluster).compute(
+        jobs, pred_runtime_min=runtime.predict_minutes(jobs)
+    )
+
+    print("training TROUT...")
+    result = train_trout(fm, config)
+    print(f"  classifier holdout accuracy: {result.classifier_accuracy:.4f}")
+    print(
+        f"  regressor MAPE on long-wait holdout jobs: "
+        f"{result.regression_mape_holdout:.1f}%"
+    )
+    print("\nnote: PWA traces carry no Slurm priority, so that feature is "
+          "constant — accuracy on archive traces leans on the queue/running "
+          "aggregates and user history instead.")
+
+
+if __name__ == "__main__":
+    main()

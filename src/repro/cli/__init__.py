@@ -1,0 +1,7 @@
+"""The ``trout`` command-line tool (§V: "We have integrated our model into
+a command-line tool that takes a real, existing job in a queue … and
+outputs a prediction").  See :mod:`repro.cli.main` for the subcommands."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

@@ -1,0 +1,266 @@
+"""``trout`` — simulate, train, and predict queue times.
+
+Subcommands
+-----------
+- ``trout simulate`` — generate a synthetic Anvil-like trace and write it
+  as an SWF-style file.
+- ``trout stats`` — Table-I statistics and an sacct-style head of a trace.
+- ``trout train`` — featurise a trace, train the hierarchy, save a model
+  directory, and print holdout metrics.
+- ``trout predict`` — Algorithm 1 on an existing job id from a trace.
+- ``trout hypothetical`` — §V's future-work feature: predict for a job
+  that was never submitted, given its requested resources.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TroutConfig, TroutModel, train_trout
+from repro.core.training import build_feature_matrix
+from repro.data.schema import JOB_DTYPE, JobSet
+from repro.data.stats import format_statistics_table, job_statistics
+from repro.data.swf import read_swf, write_swf
+from repro.features.pipeline import FeaturePipeline
+from repro.slurm.accounting import format_sacct
+from repro.slurm.anvil import anvil_cluster
+from repro.utils.logging import enable_console_logging
+from repro.workload import WorkloadConfig, generate_trace
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="trout", description="Hierarchical HPC queue-time prediction"
+    )
+    p.add_argument("-v", "--verbose", action="store_true", help="log progress")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="generate a synthetic trace")
+    sim.add_argument("--n-jobs", type=int, default=20_000)
+    sim.add_argument("--seed", type=int, default=7)
+    sim.add_argument("--load", type=float, default=0.28, help="target pool load")
+    sim.add_argument("--scale", type=float, default=0.05, help="cluster scale")
+    sim.add_argument("--out", type=Path, required=True, help="output .swf path")
+
+    st = sub.add_parser("stats", help="describe a trace")
+    st.add_argument("--trace", type=Path, required=True)
+    st.add_argument("--head", type=int, default=10, help="sacct lines to show")
+
+    tr = sub.add_parser("train", help="train TROUT on a trace")
+    tr.add_argument("--trace", type=Path, required=True)
+    tr.add_argument("--out", type=Path, required=True, help="model directory")
+    tr.add_argument("--scale", type=float, default=0.05, help="cluster scale of the trace")
+    tr.add_argument("--cutoff-min", type=float, default=10.0)
+    tr.add_argument("--seed", type=int, default=0)
+
+    pr = sub.add_parser("predict", help="predict for an existing job")
+    pr.add_argument("--model", type=Path, required=True)
+    pr.add_argument("--trace", type=Path, required=True)
+    pr.add_argument("--scale", type=float, default=0.05)
+    pr.add_argument("--job-id", type=int, required=True)
+    pr.add_argument(
+        "--interval",
+        action="store_true",
+        help="also report an 80%% MC-dropout prediction interval",
+    )
+
+    qu = sub.add_parser("queue", help="squeue-style view of the queue at a time")
+    qu.add_argument("--trace", type=Path, required=True)
+    qu.add_argument(
+        "--at",
+        type=float,
+        default=None,
+        help="trace time in seconds (default: instant of the last eligibility)",
+    )
+    qu.add_argument("--model", type=Path, default=None,
+                    help="optionally annotate pending jobs with predictions")
+    qu.add_argument("--scale", type=float, default=0.05)
+    qu.add_argument("--limit", type=int, default=20)
+
+    hy = sub.add_parser("hypothetical", help="predict for an unsubmitted job")
+    hy.add_argument("--model", type=Path, required=True)
+    hy.add_argument("--trace", type=Path, required=True)
+    hy.add_argument("--scale", type=float, default=0.05)
+    hy.add_argument("--partition", type=str, default="shared")
+    hy.add_argument("--cpus", type=int, default=16)
+    hy.add_argument("--mem-gb", type=float, default=32.0)
+    hy.add_argument("--nodes", type=int, default=1)
+    hy.add_argument("--timelimit-min", type=float, default=240.0)
+    hy.add_argument("--user-id", type=int, default=0)
+    return p
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cfg = WorkloadConfig(
+        n_jobs=args.n_jobs, seed=args.seed, load=args.load, cluster_scale=args.scale
+    )
+    result, _cluster = generate_trace(cfg)
+    write_swf(result.jobs, args.out)
+    q = result.queue_time_min
+    print(f"wrote {len(result.jobs)} jobs to {args.out}")
+    print(f"queue time: {100 * float(np.mean(q < 10)):.1f}% under 10 min, "
+          f"p99 = {np.percentile(q, 99):.0f} min")
+    print(format_statistics_table(job_statistics(result.jobs)))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    jobs = read_swf(args.trace)
+    print(format_statistics_table(job_statistics(jobs)))
+    print()
+    print(format_sacct(jobs, limit=args.head))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    jobs = read_swf(args.trace)
+    cluster = anvil_cluster(scale=args.scale)
+    config = TroutConfig(cutoff_min=args.cutoff_min, seed=args.seed)
+    fm, runtime = build_feature_matrix(jobs, cluster, config)
+    result = train_trout(fm, config)
+    result.model.save(args.out)
+    with open(Path(args.out) / "runtime_model.pkl", "wb") as fh:
+        pickle.dump(runtime, fh)
+    print(f"model saved to {args.out}")
+    print(f"classifier accuracy (recent 20% holdout): {result.classifier_accuracy:.4f}")
+    print(f"  quick-start class: {result.classifier_accuracy_quick:.4f}")
+    print(f"  long-wait class:   {result.classifier_accuracy_long:.4f}")
+    print(f"regressor MAPE on long-wait holdout jobs: {result.regression_mape_holdout:.1f}%")
+    return 0
+
+
+def _load_bundle(model_dir: Path) -> tuple[TroutModel, object]:
+    model = TroutModel.load(model_dir)
+    with open(model_dir / "runtime_model.pkl", "rb") as fh:
+        runtime = pickle.load(fh)
+    return model, runtime
+
+
+def _featurise(jobs: JobSet, scale: float, runtime) -> np.ndarray:
+    cluster = anvil_cluster(scale=scale)
+    pred = runtime.predict_minutes(jobs)
+    return FeaturePipeline(cluster).compute(jobs, pred_runtime_min=pred).X
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    model, runtime = _load_bundle(args.model)
+    jobs = read_swf(args.trace)
+    pos = np.flatnonzero(jobs.column("job_id") == args.job_id)
+    if not len(pos):
+        print(f"job {args.job_id} not found in {args.trace}", file=sys.stderr)
+        return 1
+    X = _featurise(jobs, args.scale, runtime)
+    msg = model.predict_messages(X[pos])[0]
+    actual = float(jobs.queue_time_min[pos[0]])
+    print(f"job {args.job_id}: {msg}")
+    if args.interval and model.predict(X[pos])[0].long_wait:
+        iv = model.regressor.predict_interval(X[pos], n_samples=30, alpha=0.2)
+        print(
+            f"80% interval: {iv['lower'][0]:.0f} - {iv['upper'][0]:.0f} minutes"
+        )
+    print(f"(actual queue time in trace: {actual:.1f} minutes)")
+    return 0
+
+
+def _cmd_hypothetical(args: argparse.Namespace) -> int:
+    model, runtime = _load_bundle(args.model)
+    jobs = read_swf(args.trace)
+    try:
+        part_idx = list(jobs.partition_names).index(args.partition)
+    except ValueError:
+        print(
+            f"unknown partition {args.partition!r}; trace has "
+            f"{jobs.partition_names}",
+            file=sys.stderr,
+        )
+        return 1
+    # Append the hypothetical job at "now" (just past the trace end) with
+    # an empty pending interval so it matches no snapshot query itself.
+    t_now = float(jobs.column("eligible_time").max()) + 1.0
+    rec = np.zeros(1, dtype=JOB_DTYPE)
+    rec["job_id"] = jobs.column("job_id").max() + 1
+    rec["user_id"] = args.user_id
+    rec["partition"] = part_idx
+    rec["submit_time"] = rec["eligible_time"] = t_now
+    rec["start_time"] = rec["end_time"] = t_now
+    rec["req_cpus"] = args.cpus
+    rec["req_mem_gb"] = args.mem_gb
+    rec["req_nodes"] = args.nodes
+    rec["timelimit_min"] = args.timelimit_min
+    rec["priority"] = float(np.median(jobs.column("priority")))
+    extended = jobs.concat(JobSet(rec, jobs.partition_names))
+    X = _featurise(extended, args.scale, runtime)
+    msg = model.predict_messages(X[-1:])[0]
+    print(
+        f"hypothetical job ({args.partition}, {args.cpus} CPUs, "
+        f"{args.mem_gb} GB, {args.nodes} nodes, {args.timelimit_min:.0f} min "
+        f"limit): {msg}"
+    )
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.features.live import live_features, pending_at, running_at
+
+    jobs = read_swf(args.trace)
+    t_now = (
+        float(jobs.column("eligible_time").max())
+        if args.at is None
+        else float(args.at)
+    )
+    pend = pending_at(jobs, t_now)
+    run = running_at(jobs, t_now)
+    names = jobs.partition_names
+    print(f"queue state at t={t_now:.0f}s: {len(run)} running, {len(pend)} pending")
+
+    predictions: dict[int, str] = {}
+    if args.model is not None and len(pend):
+        model, runtime = _load_bundle(args.model)
+        pred_rt = runtime.predict_minutes(jobs)
+        X_live, positions = live_features(
+            jobs, t_now, anvil_cluster(args.scale), pred_runtime_min=pred_rt,
+        )
+        msgs = model.predict_messages(X_live)
+        predictions = {int(p): m for p, m in zip(positions, msgs)}
+
+    rec = jobs.records
+    print(f"{'JOBID':>8} {'PARTITION':>10} {'USER':>6} {'CPUS':>6} "
+          f"{'WAIT(min)':>10}  PREDICTION")
+    order = pend[np.argsort(-rec["priority"][pend])]
+    for p in order[: args.limit]:
+        wait = (t_now - rec["eligible_time"][p]) / 60.0
+        part = names[int(rec["partition"][p])] if names else str(rec["partition"][p])
+        print(
+            f"{int(rec['job_id'][p]):>8} {part:>10} u{int(rec['user_id'][p]):<5} "
+            f"{int(rec['req_cpus'][p]):>6} {wait:>10.1f}  "
+            f"{predictions.get(int(p), '-')}"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "predict": _cmd_predict,
+    "queue": _cmd_queue,
+    "hypothetical": _cmd_hypothetical,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_console_logging()
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

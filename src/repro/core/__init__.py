@@ -1,0 +1,42 @@
+"""TROUT — the paper's primary contribution.
+
+A hierarchical queue-time predictor: a binary feed-forward classifier
+gates jobs into "quick start" (< cutoff, default ten minutes) vs "long
+wait"; long-wait jobs get a minute-valued prediction from a feed-forward
+regressor (33 features, three hidden ELU layers, smooth-L1 loss, Adam).
+A random-forest runtime model supplies predicted-runtime features.
+
+Entry points: :class:`~repro.core.hierarchical.TroutModel` for inference
+(Algorithm 1), :func:`~repro.core.training.train_trout` /
+:func:`~repro.core.training.run_regression_cv` for training and the
+paper's time-series-CV evaluation protocol.
+"""
+
+from repro.core.classifier import QuickStartClassifier
+from repro.core.config import ClassifierConfig, RegressorConfig, TroutConfig
+from repro.core.hierarchical import TroutModel
+from repro.core.regressor import QueueTimeRegressor
+from repro.core.runtime_model import RuntimePredictor
+from repro.core.training import (
+    CVResult,
+    FoldResult,
+    run_regression_cv,
+    train_trout,
+)
+from repro.core.tuning import TuningConfig, tune_regressor
+
+__all__ = [
+    "TroutConfig",
+    "ClassifierConfig",
+    "RegressorConfig",
+    "QuickStartClassifier",
+    "QueueTimeRegressor",
+    "RuntimePredictor",
+    "TroutModel",
+    "train_trout",
+    "run_regression_cv",
+    "CVResult",
+    "FoldResult",
+    "TuningConfig",
+    "tune_regressor",
+]

@@ -1,0 +1,150 @@
+"""The hierarchical TROUT model (Fig. 1 / Algorithm 1).
+
+Inference exactly follows Algorithm 1: the binary classifier decides
+whether the job will wait more than the cutoff; only then does the
+regressor produce a minute-valued estimate, otherwise the answer is
+"less than ``cutoff`` minutes".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import QuickStartClassifier
+from repro.core.config import TroutConfig
+from repro.core.regressor import QueueTimeRegressor
+from repro.nn.serialize import load_network, save_network
+from repro.utils.validation import check_2d
+
+__all__ = ["TroutModel", "TroutPrediction"]
+
+
+@dataclass
+class TroutPrediction:
+    """One job's hierarchical prediction."""
+
+    long_wait: bool
+    minutes: float | None  # None for quick-start jobs
+    p_long: float
+
+    def message(self, cutoff_min: float) -> str:
+        """Algorithm 1's user-facing string."""
+        if self.long_wait:
+            return f"Predicted to start in {self.minutes:.0f} minutes"
+        return f"Predicted to take less than {cutoff_min:.0f} minutes"
+
+
+class TroutModel:
+    """Classifier + regressor behind one inference API.
+
+    Build with already-fitted components (see
+    :func:`repro.core.training.train_trout`) or :meth:`load` a saved model.
+    """
+
+    def __init__(
+        self,
+        classifier: QuickStartClassifier,
+        regressor: QueueTimeRegressor,
+        cutoff_min: float,
+        feature_names: tuple[str, ...],
+    ) -> None:
+        if cutoff_min <= 0:
+            raise ValueError("cutoff_min must be positive")
+        self.classifier = classifier
+        self.regressor = regressor
+        self.cutoff_min = cutoff_min
+        self.feature_names = tuple(feature_names)
+
+    # ------------------------------------------------------------------ #
+    def predict(self, X: np.ndarray) -> list[TroutPrediction]:
+        """Hierarchical predictions for a batch of feature rows."""
+        X = check_2d(X, "X")
+        p_long = self.classifier.predict_proba(X)
+        is_long = p_long >= self.classifier.config.threshold
+        minutes = np.full(len(X), np.nan)
+        if np.any(is_long):
+            minutes[is_long] = self.regressor.predict_minutes(X[is_long])
+        return [
+            TroutPrediction(
+                long_wait=bool(is_long[i]),
+                minutes=float(minutes[i]) if is_long[i] else None,
+                p_long=float(p_long[i]),
+            )
+            for i in range(len(X))
+        ]
+
+    def predict_minutes(self, X: np.ndarray) -> np.ndarray:
+        """Scalarised predictions for metric computation.
+
+        Quick-start jobs get ``cutoff/2`` (the midpoint of the "< cutoff"
+        statement); long-wait jobs get the regressor's estimate floored at
+        the cutoff (the hierarchy asserts they exceed it).
+        """
+        X = check_2d(X, "X")
+        p_long = self.classifier.predict_proba(X)
+        is_long = p_long >= self.classifier.config.threshold
+        out = np.full(len(X), self.cutoff_min / 2.0)
+        if np.any(is_long):
+            out[is_long] = np.maximum(
+                self.regressor.predict_minutes(X[is_long]), self.cutoff_min
+            )
+        return out
+
+    def predict_messages(self, X: np.ndarray) -> list[str]:
+        """Algorithm 1 output strings."""
+        return [p.message(self.cutoff_min) for p in self.predict(X)]
+
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> None:
+        """Persist both networks + metadata into ``directory``."""
+        d = Path(directory)
+        d.mkdir(parents=True, exist_ok=True)
+        save_network(self.classifier.net_, d / "classifier.npz")
+        save_network(self.regressor.net_, d / "regressor.npz")
+        np.savez(
+            d / "scalers.npz",
+            clf_mean=self.classifier._scaler.mean_,
+            clf_scale=self.classifier._scaler.scale_,
+            reg_mean=self.regressor._scaler.mean_,
+            reg_scale=self.regressor._scaler.scale_,
+        )
+        meta = {
+            "cutoff_min": self.cutoff_min,
+            "feature_names": list(self.feature_names),
+            "threshold": self.classifier.config.threshold,
+            "log_target": self.regressor.config.log_target,
+            "n_features": self.classifier.n_features,
+        }
+        (d / "meta.json").write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "TroutModel":
+        """Load a :meth:`save`'d model directory."""
+        d = Path(directory)
+        meta = json.loads((d / "meta.json").read_text())
+        from repro.core.config import ClassifierConfig, RegressorConfig
+
+        clf = QuickStartClassifier(
+            meta["n_features"],
+            ClassifierConfig(threshold=meta["threshold"]),
+        )
+        clf.net_ = load_network(d / "classifier.npz")
+        reg = QueueTimeRegressor(
+            meta["n_features"], RegressorConfig(log_target=meta["log_target"])
+        )
+        reg.net_ = load_network(d / "regressor.npz")
+        with np.load(d / "scalers.npz") as sc:
+            clf._scaler.mean_ = sc["clf_mean"]
+            clf._scaler.scale_ = sc["clf_scale"]
+            reg._scaler.mean_ = sc["reg_mean"]
+            reg._scaler.scale_ = sc["reg_scale"]
+        return cls(
+            classifier=clf,
+            regressor=reg,
+            cutoff_min=float(meta["cutoff_min"]),
+            feature_names=tuple(meta["feature_names"]),
+        )

@@ -1,0 +1,173 @@
+"""Online learning (§V future work).
+
+"Future work on integrating online learning capabilities is needed to
+ensure predictions stay current with the cluster changes."  This module
+implements that extension: :class:`OnlineTrout` wraps a trained
+:class:`~repro.core.hierarchical.TroutModel` and
+
+- accumulates newly completed jobs into a sliding window,
+- monitors drift (rolling classifier accuracy and regressor MAPE on the
+  incoming stream, *before* updating — honest prequential evaluation),
+- continues training both networks on the window at a reduced learning
+  rate whenever enough new jobs arrived.
+
+The networks are updated in place; between refreshes inference is exactly
+the wrapped model's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hierarchical import TroutModel
+from repro.eval.metrics import (
+    binary_accuracy,
+    mean_absolute_percentage_error,
+)
+from repro.nn import Adam
+from repro.utils.logging import get_logger
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_1d, check_2d, check_consistent_length
+
+__all__ = ["OnlineConfig", "OnlineTrout"]
+
+log = get_logger(__name__)
+
+
+@dataclass
+class OnlineConfig:
+    """Refresh policy for online updates."""
+
+    window: int = 20_000  # sliding window of most recent jobs
+    refresh_every: int = 2_000  # jobs between refits
+    epochs: int = 3  # passes over the window per refresh
+    lr: float = 2e-4  # reduced fine-tuning rate
+    batch_size: int = 256
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 10 or self.refresh_every < 1:
+            raise ValueError("window must be >= 10 and refresh_every >= 1")
+        if self.epochs < 1 or self.lr <= 0:
+            raise ValueError("epochs must be >= 1 and lr positive")
+
+
+@dataclass
+class _DriftStats:
+    """Prequential performance on the incoming stream."""
+
+    n_seen: int = 0
+    clf_correct: int = 0
+    reg_ape_sum: float = 0.0
+    n_long: int = 0
+
+    @property
+    def classifier_accuracy(self) -> float:
+        return self.clf_correct / self.n_seen if self.n_seen else float("nan")
+
+    @property
+    def regressor_mape(self) -> float:
+        return self.reg_ape_sum / self.n_long if self.n_long else float("nan")
+
+
+class OnlineTrout:
+    """Streaming wrapper over a trained hierarchy.
+
+    Usage::
+
+        online = OnlineTrout(trained.model)
+        for X_batch, minutes_batch in stream:      # completed jobs
+            online.observe(X_batch, minutes_batch)  # score, buffer, refresh
+        online.predict_messages(X_queued)           # always serves
+    """
+
+    def __init__(self, model: TroutModel, config: OnlineConfig | None = None):
+        self.model = model
+        self.config = config or OnlineConfig()
+        self._X: deque[np.ndarray] = deque()
+        self._m: deque[np.ndarray] = deque()
+        self._buffered = 0
+        self._since_refresh = 0
+        self.n_refreshes = 0
+        self.drift = _DriftStats()
+        self._rng = default_rng(self.config.seed)
+
+    # ------------------------------------------------------------------ #
+    def observe(self, X: np.ndarray, minutes: np.ndarray) -> None:
+        """Ingest completed jobs: score first (prequential), then learn."""
+        X = check_2d(X, "X")
+        minutes = check_1d(minutes, "minutes")
+        check_consistent_length(X, minutes)
+        self._score(X, minutes)
+        self._X.append(X)
+        self._m.append(minutes)
+        self._buffered += len(X)
+        self._since_refresh += len(X)
+        while self._buffered - len(self._X[0]) >= self.config.window:
+            self._buffered -= len(self._X.popleft())
+            self._m.popleft()
+        if self._since_refresh >= self.config.refresh_every:
+            self.refresh()
+
+    def _score(self, X: np.ndarray, minutes: np.ndarray) -> None:
+        cutoff = self.model.cutoff_min
+        truth_long = (minutes > cutoff).astype(np.float64)
+        pred_long = self.model.classifier.predict(X).astype(np.float64)
+        self.drift.n_seen += len(X)
+        self.drift.clf_correct += int(np.sum(pred_long == truth_long))
+        long_mask = truth_long == 1
+        if np.any(long_mask):
+            pred = self.model.regressor.predict_minutes(X[long_mask])
+            ape = 100.0 * np.abs(pred - minutes[long_mask]) / minutes[long_mask]
+            self.drift.reg_ape_sum += float(ape.sum())
+            self.drift.n_long += int(long_mask.sum())
+
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Fine-tune both networks on the sliding window."""
+        if self._buffered < 10:
+            return
+        cfg = self.config
+        X = np.concatenate(list(self._X))
+        minutes = np.concatenate(list(self._m))
+        cutoff = self.model.cutoff_min
+
+        # Classifier: continue on the (scaled) window with the stored scaler.
+        clf = self.model.classifier
+        y = (minutes > cutoff).astype(np.float64)
+        if len(np.unique(y)) == 2:
+            Xs = clf._scaler.transform(X)
+            clf.net_.compile(clf.net_.loss, Adam(lr=cfg.lr))
+            clf.net_.fit(
+                Xs, y, epochs=cfg.epochs, batch_size=cfg.batch_size, seed=self._rng
+            )
+
+        # Regressor: continue on the window's long-wait jobs.
+        long_mask = minutes > cutoff
+        if int(long_mask.sum()) >= 10:
+            reg = self.model.regressor
+            Xs = reg._scaler.transform(X[long_mask])
+            ys = reg._encode_target(minutes[long_mask]).reshape(-1, 1)
+            reg.net_.compile(reg.net_.loss, Adam(lr=cfg.lr))
+            reg.net_.fit(
+                Xs, ys, epochs=cfg.epochs, batch_size=cfg.batch_size, seed=self._rng
+            )
+        self._since_refresh = 0
+        self.n_refreshes += 1
+        log.info(
+            "online refresh %d on %d buffered jobs (stream acc %.3f)",
+            self.n_refreshes,
+            self._buffered,
+            self.drift.classifier_accuracy,
+        )
+
+    # ------------------------------------------------------------------ #
+    def predict_messages(self, X: np.ndarray) -> list[str]:
+        """Algorithm 1 on the current (possibly refreshed) model."""
+        return self.model.predict_messages(X)
+
+    def predict_minutes(self, X: np.ndarray) -> np.ndarray:
+        return self.model.predict_minutes(X)

@@ -1,0 +1,126 @@
+"""Hyperparameter tuning of the queue-time regressor (§III).
+
+"The Optuna hyperparameter framework was used to determine the best
+combination of hyperparameters within the model.  The hyperparameters
+investigated include the learning rate, the number of epochs to train for,
+the number of hidden layers for the model, the size of each layer, the
+size of the dropout layers to use …" — this module is that step, built on
+:mod:`repro.hpo`'s TPE sampler.
+
+Protocol: the most recent ``val_fraction`` of the (time-ordered) training
+window is held out; TPE minimises validation MAPE over layer width/depth,
+learning rate and dropout; the best configuration is then refit with a few
+seeds and the seed with the best validation MAPE wins.  The test window is
+never touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import RegressorConfig
+from repro.core.regressor import QueueTimeRegressor
+from repro.eval.metrics import mean_absolute_percentage_error
+from repro.hpo import Study, TPESampler, Trial
+from repro.utils.logging import get_logger
+
+__all__ = ["TuningConfig", "tune_regressor"]
+
+log = get_logger(__name__)
+
+
+@dataclass
+class TuningConfig:
+    """Budget and search-space bounds for regressor tuning."""
+
+    n_trials: int = 20
+    n_seeds: int = 3  # refits of the winning config, selected on validation
+    val_fraction: float = 0.15
+    epochs: int = 120
+    patience: int = 12
+    width_low: int = 64
+    width_high: int = 256
+    depth_low: int = 2
+    depth_high: int = 4
+    lr_low: float = 3e-4
+    lr_high: float = 5e-3
+    dropout_high: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 1 or self.n_seeds < 1:
+            raise ValueError("n_trials and n_seeds must be >= 1")
+        if not 0.0 < self.val_fraction < 0.5:
+            raise ValueError("val_fraction must be in (0, 0.5)")
+
+
+def _config_from_params(params: dict, tuning: TuningConfig) -> RegressorConfig:
+    """Materialise a RegressorConfig from suggested parameters.
+
+    The architecture is a halving pyramid from the suggested top width —
+    the family the paper's three-hidden-layer model belongs to.
+    """
+    hidden = tuple(
+        max(8, params["h1"] // (2**i)) for i in range(params["depth"])
+    )
+    return RegressorConfig(
+        hidden=hidden,
+        lr=params["lr"],
+        dropout=params["dropout"],
+        epochs=tuning.epochs,
+        patience=tuning.patience,
+    )
+
+
+def tune_regressor(
+    X: np.ndarray,
+    minutes: np.ndarray,
+    tuning: TuningConfig | None = None,
+) -> tuple[QueueTimeRegressor, Study]:
+    """TPE-tune, refit and return the best regressor for (X, minutes).
+
+    Rows must be time-ordered; the validation tail is split off before any
+    fitting.  Returns the selected fitted model and the completed study.
+    """
+    tuning = tuning or TuningConfig()
+    X = np.ascontiguousarray(X, dtype=np.float64)
+    minutes = np.ascontiguousarray(minutes, dtype=np.float64)
+    if len(X) != len(minutes):
+        raise ValueError("X and minutes must align")
+    n_val = max(10, int(tuning.val_fraction * len(X)))
+    if n_val >= len(X):
+        raise ValueError("not enough rows to hold out a validation tail")
+    Xtr, mtr = X[:-n_val], minutes[:-n_val]
+    Xval, mval = X[-n_val:], minutes[-n_val:]
+
+    def objective(trial: Trial) -> float:
+        params = {
+            "h1": trial.suggest_int("h1", tuning.width_low, tuning.width_high, log=True),
+            "depth": trial.suggest_int("depth", tuning.depth_low, tuning.depth_high),
+            "lr": trial.suggest_float("lr", tuning.lr_low, tuning.lr_high, log=True),
+            "dropout": trial.suggest_float("dropout", 0.0, tuning.dropout_high),
+        }
+        reg = QueueTimeRegressor(
+            X.shape[1], _config_from_params(params, tuning), seed=trial.number
+        )
+        reg.fit(Xtr, mtr)
+        return mean_absolute_percentage_error(mval, reg.predict_minutes(Xval))
+
+    study = Study(sampler=TPESampler(seed=tuning.seed))
+    study.optimize(objective, n_trials=tuning.n_trials)
+    best_cfg = _config_from_params(study.best_params, tuning)
+    log.info("tuned regressor: %s (val MAPE %.1f%%)", study.best_params, study.best_value)
+
+    # Seed selection: refit the winner a few times, keep the best on val.
+    best_val = np.inf
+    best_reg: QueueTimeRegressor | None = None
+    for s in range(tuning.n_seeds):
+        reg = QueueTimeRegressor(X.shape[1], best_cfg, seed=10_000 + tuning.seed + s)
+        reg.fit(Xtr, mtr)
+        v = mean_absolute_percentage_error(mval, reg.predict_minutes(Xval))
+        if v < best_val:
+            best_val, best_reg = v, reg
+    assert best_reg is not None
+    return best_reg, study

@@ -1,0 +1,31 @@
+"""Job accounting data layer.
+
+The paper stages Slurm ``sacct`` history in PostgreSQL; this package is the
+equivalent substrate: a columnar, structured-array job store
+(:class:`~repro.data.schema.JobSet`), a portable text format modelled on the
+Standard Workload Format (:mod:`repro.data.swf`), leakage-safe dataset
+splitting (:mod:`repro.data.splits`) and descriptive statistics matching the
+paper's Table I (:mod:`repro.data.stats`).
+"""
+
+from repro.data.schema import JOB_DTYPE, JobSet, JobState
+from repro.data.splits import (
+    TimeSeriesSplit,
+    holdout_recent,
+    shuffled_split,
+)
+from repro.data.stats import job_statistics, summarize_variable
+from repro.data.swf import read_swf, write_swf
+
+__all__ = [
+    "JOB_DTYPE",
+    "JobSet",
+    "JobState",
+    "TimeSeriesSplit",
+    "holdout_recent",
+    "shuffled_split",
+    "job_statistics",
+    "summarize_variable",
+    "read_swf",
+    "write_swf",
+]

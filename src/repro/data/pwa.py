@@ -1,0 +1,208 @@
+"""Standard Workload Format (Parallel Workloads Archive) import.
+
+The reproduction's default data source is the simulator, but TROUT can
+train on *real* public traces: the Parallel Workloads Archive distributes
+accounting logs from production HPC systems in the 18-field standard SWF,
+which carries everything the queue-time problem needs (submit time, wait
+time, run time, requested processors/time/memory, user, queue/partition).
+
+:func:`read_standard_swf` converts such a file to a
+:class:`~repro.data.schema.JobSet`:
+
+- ``queue_time_min`` falls out of the recorded wait times (field 3);
+- the SWF queue number becomes the partition index;
+- memory requests default to a per-processor estimate when the trace
+  omits them (most do);
+- Slurm priority is not recorded in SWF, so the ``priority`` column is
+  filled with a constant — models trained on PWA traces simply see an
+  uninformative priority feature (documented limitation).
+
+Standard SWF fields (1-based):
+ 1 job number, 2 submit time, 3 wait time (s), 4 run time (s),
+ 5 used processors, 6 avg CPU time, 7 used memory, 8 requested processors,
+ 9 requested time (s), 10 requested memory (KB/proc), 11 status,
+ 12 user id, 13 group id, 14 executable, 15 queue number,
+ 16 partition number, 17 preceding job, 18 think time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.schema import JOB_DTYPE, JobSet, JobState
+from repro.utils.logging import get_logger
+
+__all__ = ["read_standard_swf", "write_standard_swf"]
+
+log = get_logger(__name__)
+
+_N_FIELDS = 18
+_DEFAULT_MEM_PER_PROC_GB = 2.0
+
+
+def read_standard_swf(
+    path: str | Path,
+    cpus_per_node: int = 128,
+    mem_per_proc_gb: float = _DEFAULT_MEM_PER_PROC_GB,
+    drop_anomalies: bool = True,
+) -> JobSet:
+    """Parse a Parallel-Workloads-Archive standard SWF file.
+
+    Parameters
+    ----------
+    cpus_per_node:
+        Used to derive a node count from requested processors (SWF records
+        processors, not nodes).
+    mem_per_proc_gb:
+        Fallback memory request when field 10 is missing (−1).
+    drop_anomalies:
+        Drop records with negative wait/run times or zero processors
+        (present in several archive traces); otherwise raise.
+
+    Returns an eligibility-ordered :class:`JobSet` whose partition
+    vocabulary is ``("q<k>", …)`` over the queue numbers present.
+    """
+    path = Path(path)
+    rows: list[list[float]] = []
+    for line_no, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith(";"):
+            continue
+        parts = line.split()
+        if len(parts) < _N_FIELDS:
+            raise ValueError(
+                f"{path}:{line_no}: standard SWF needs {_N_FIELDS} fields, "
+                f"got {len(parts)}"
+            )
+        rows.append([float(v) for v in parts[:_N_FIELDS]])
+    if not rows:
+        raise ValueError(f"{path} contains no job records")
+    a = np.asarray(rows, dtype=np.float64)
+
+    submit = a[:, 1]
+    wait = a[:, 2]
+    run = a[:, 3]
+    used_procs = a[:, 4]
+    req_procs = np.where(a[:, 7] > 0, a[:, 7], used_procs)
+    req_time_s = a[:, 8]
+    req_mem_kb_per_proc = a[:, 9]
+    status = a[:, 10]
+    queue_no = a[:, 14].astype(np.int64)
+
+    ok = np.ones(len(a), dtype=bool)
+    ok &= wait >= 0
+    ok &= run >= 0
+    ok &= req_procs > 0
+    ok &= req_time_s > 0
+    if not np.all(ok):
+        if not drop_anomalies:
+            bad = int(np.flatnonzero(~ok)[0])
+            raise ValueError(f"anomalous record at data row {bad}")
+        log.info("dropped %d anomalous SWF records", int((~ok).sum()))
+        a = a[ok]
+        submit, wait, run = submit[ok], wait[ok], run[ok]
+        req_procs, req_time_s = req_procs[ok], req_time_s[ok]
+        req_mem_kb_per_proc = req_mem_kb_per_proc[ok]
+        status, queue_no = status[ok], queue_no[ok]
+
+    queues = np.unique(queue_no)
+    queue_index = {int(q): i for i, q in enumerate(queues)}
+    partition_names = tuple(f"q{int(q)}" for q in queues)
+
+    n = len(submit)
+    rec = np.zeros(n, dtype=JOB_DTYPE)
+    rec["job_id"] = a[:, 0].astype(np.int64)
+    rec["user_id"] = np.maximum(a[:, 11], 0).astype(np.int32)
+    rec["partition"] = np.array(
+        [queue_index[int(q)] for q in queue_no], dtype=np.int16
+    )
+    rec["qos"] = 1
+    rec["submit_time"] = submit
+    # SWF measures wait from submission; eligibility == submission here.
+    rec["eligible_time"] = submit
+    rec["start_time"] = submit + wait
+    rec["end_time"] = submit + wait + run
+    rec["req_cpus"] = np.maximum(req_procs, 1).astype(np.int32)
+    mem_gb = np.where(
+        req_mem_kb_per_proc > 0,
+        req_mem_kb_per_proc * req_procs / (1024.0 * 1024.0),
+        mem_per_proc_gb * req_procs,
+    )
+    rec["req_mem_gb"] = np.maximum(mem_gb, 0.1)
+    rec["req_nodes"] = np.maximum(
+        np.ceil(req_procs / cpus_per_node), 1
+    ).astype(np.int32)
+    rec["timelimit_min"] = req_time_s / 60.0
+    # SWF status: 1 completed, 0 failed, 5 cancelled; map the rest to
+    # TIMEOUT when the job ran out its request.
+    state = np.full(n, int(JobState.COMPLETED), dtype=np.int8)
+    state[status == 0] = int(JobState.FAILED)
+    state[status == 5] = int(JobState.CANCELLED)
+    state[run >= req_time_s] = int(JobState.TIMEOUT)
+    rec["state"] = state
+    # Priority is not recorded in SWF; constant = uninformative feature.
+    rec["priority"] = 1.0
+
+    jobs = JobSet(rec, partition_names)
+    order = np.argsort(rec["eligible_time"], kind="stable")
+    log.info(
+        "read %d jobs, %d queues from %s", n, len(partition_names), path.name
+    )
+    return jobs[order]
+
+
+def write_standard_swf(jobs: JobSet, path: str | Path, computer: str = "repro") -> None:
+    """Write a :class:`JobSet` as an 18-field standard SWF file.
+
+    The inverse of :func:`read_standard_swf` up to SWF's representational
+    limits: priority and QOS are not representable (SWF has no such
+    fields), memory is stored as KB per requested processor, and the queue
+    number is the partition index + 1 (SWF queues are 1-based by
+    convention).  SWF also has no separate eligibility timestamp, so the
+    *eligible* time is written into the submit field (wait is measured
+    from eligibility throughout the reproduction).  Round-tripping
+    therefore preserves exactly the columns the queue-time problem needs.
+    """
+    path = Path(path)
+    rec = jobs.records
+    lines = [
+        f"; Computer: {computer}",
+        f"; MaxJobs: {len(jobs)}",
+        f"; MaxRecords: {len(jobs)}",
+        "; Note: written by repro.data.pwa (standard SWF, 18 fields)",
+    ]
+    wait = np.maximum(rec["start_time"] - rec["eligible_time"], 0.0)
+    run = np.maximum(rec["end_time"] - rec["start_time"], 0.0)
+    status = np.where(
+        rec["state"] == int(JobState.FAILED),
+        0,
+        np.where(rec["state"] == int(JobState.CANCELLED), 5, 1),
+    )
+    mem_kb_per_proc = (
+        rec["req_mem_gb"] * 1024.0 * 1024.0 / np.maximum(rec["req_cpus"], 1)
+    )
+    for i in range(len(jobs)):
+        fields = [
+            int(rec["job_id"][i]),
+            int(round(rec["eligible_time"][i])),
+            int(round(wait[i])),
+            int(round(run[i])),
+            int(rec["req_cpus"][i]),  # used = requested in our traces
+            -1,
+            -1,
+            int(rec["req_cpus"][i]),
+            int(round(rec["timelimit_min"][i] * 60.0)),
+            int(round(mem_kb_per_proc[i])),
+            int(status[i]),
+            int(rec["user_id"][i]),
+            1,
+            -1,
+            int(rec["partition"][i]) + 1,
+            1,
+            -1,
+            -1,
+        ]
+        lines.append(" ".join(str(v) for v in fields))
+    path.write_text("\n".join(lines) + "\n")

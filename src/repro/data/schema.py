@@ -1,0 +1,204 @@
+"""Columnar job-record schema.
+
+One :class:`JobSet` holds an entire accounting trace as a NumPy structured
+array — the cache-friendly layout the hpc-parallel guides recommend over
+per-job Python objects.  All timestamps are seconds from the trace origin;
+durations exposed to models are minutes, matching the paper's definition of
+queue time ("delay in minutes between when a job is eligible to run and when
+it starts running").
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["JobState", "JOB_DTYPE", "JobSet"]
+
+
+class JobState(enum.IntEnum):
+    """Terminal job states mirroring the Slurm accounting states the paper
+    keeps (administrative states are filtered out upstream)."""
+
+    COMPLETED = 0
+    FAILED = 1
+    TIMEOUT = 2
+    CANCELLED = 3
+
+
+#: Structured dtype for one accounting record.  Field names follow Slurm's
+#: sacct vocabulary where one exists.
+JOB_DTYPE = np.dtype(
+    [
+        ("job_id", np.int64),
+        ("user_id", np.int32),
+        ("partition", np.int16),
+        ("qos", np.int8),
+        ("state", np.int8),
+        ("submit_time", np.float64),  # seconds from trace origin
+        ("eligible_time", np.float64),  # seconds; >= submit_time
+        ("start_time", np.float64),  # seconds; >= eligible_time
+        ("end_time", np.float64),  # seconds; >= start_time
+        ("req_cpus", np.int32),
+        ("req_mem_gb", np.float64),
+        ("req_nodes", np.int32),
+        ("timelimit_min", np.float64),  # requested walltime, minutes
+        ("priority", np.float64),  # Slurm priority at eligibility
+    ]
+)
+
+
+class JobSet:
+    """A trace of jobs backed by one structured array.
+
+    Provides named-column access, derived duration columns, filtering and
+    ordering.  All mutating operations return new views/instances; the
+    underlying record array is treated as immutable once built.
+    """
+
+    def __init__(self, records: np.ndarray, partition_names: Sequence[str] | None = None):
+        records = np.asarray(records)
+        if records.dtype != JOB_DTYPE:
+            raise TypeError(
+                f"records must have JOB_DTYPE, got {records.dtype}"
+            )
+        self._records = records
+        self.partition_names: tuple[str, ...] = tuple(partition_names or ())
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, np.ndarray],
+        partition_names: Sequence[str] | None = None,
+    ) -> "JobSet":
+        """Build from a mapping of column name → 1-D array.
+
+        Missing columns default to zeros; unknown columns raise.
+        """
+        unknown = set(columns) - {name for name in JOB_DTYPE.names}
+        if unknown:
+            raise KeyError(f"unknown job columns: {sorted(unknown)}")
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        (n,) = lengths
+        rec = np.zeros(n, dtype=JOB_DTYPE)
+        for name, values in columns.items():
+            rec[name] = values
+        return cls(rec, partition_names)
+
+    @classmethod
+    def empty(cls, partition_names: Sequence[str] | None = None) -> "JobSet":
+        """An empty trace (useful as a fold boundary sentinel)."""
+        return cls(np.zeros(0, dtype=JOB_DTYPE), partition_names)
+
+    # ------------------------------------------------------------------ #
+    # basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return self._records[key]
+        if isinstance(key, (slice, np.ndarray, list)):
+            return JobSet(self._records[key], self.partition_names)
+        raise TypeError(f"unsupported key type {type(key).__name__}")
+
+    @property
+    def records(self) -> np.ndarray:
+        """The underlying structured array (do not mutate)."""
+        return self._records
+
+    def column(self, name: str) -> np.ndarray:
+        """Return one raw column by name."""
+        return self._records[name]
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_time_min(self) -> np.ndarray:
+        """Queue time in minutes: (start − eligible) / 60."""
+        rec = self._records
+        return (rec["start_time"] - rec["eligible_time"]) / 60.0
+
+    @property
+    def runtime_min(self) -> np.ndarray:
+        """Actual runtime in minutes: (end − start) / 60."""
+        rec = self._records
+        return (rec["end_time"] - rec["start_time"]) / 60.0
+
+    @property
+    def wasted_time_min(self) -> np.ndarray:
+        """Requested-but-unused walltime in minutes (floored at 0)."""
+        return np.maximum(self._records["timelimit_min"] - self.runtime_min, 0.0)
+
+    @property
+    def walltime_utilization(self) -> np.ndarray:
+        """Fraction of requested walltime actually used, in (0, 1]."""
+        tl = np.maximum(self._records["timelimit_min"], 1e-9)
+        return np.clip(self.runtime_min / tl, 0.0, 1.0)
+
+    # ------------------------------------------------------------------ #
+    # ordering / filtering
+    # ------------------------------------------------------------------ #
+    def sort_by(self, field: str, kind: str = "stable") -> "JobSet":
+        """Return a copy sorted ascending by ``field``."""
+        order = np.argsort(self._records[field], kind=kind)
+        return JobSet(self._records[order], self.partition_names)
+
+    def where(self, mask: np.ndarray) -> "JobSet":
+        """Return the subset selected by a boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (len(self),):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match trace length {len(self)}"
+            )
+        return JobSet(self._records[mask], self.partition_names)
+
+    def in_partition(self, partition: int | str) -> "JobSet":
+        """Subset of jobs submitted to one partition (by index or name)."""
+        idx = self.partition_index(partition)
+        return self.where(self._records["partition"] == idx)
+
+    def partition_index(self, partition: int | str) -> int:
+        """Resolve a partition name or index to its integer index."""
+        if isinstance(partition, str):
+            try:
+                return self.partition_names.index(partition)
+            except ValueError:
+                raise KeyError(
+                    f"unknown partition {partition!r}; known: {self.partition_names}"
+                ) from None
+        return int(partition)
+
+    def validate(self) -> None:
+        """Check temporal invariants: submit ≤ eligible ≤ start ≤ end."""
+        rec = self._records
+        if np.any(rec["eligible_time"] < rec["submit_time"]):
+            raise ValueError("eligible_time earlier than submit_time")
+        if np.any(rec["start_time"] < rec["eligible_time"]):
+            raise ValueError("start_time earlier than eligible_time")
+        if np.any(rec["end_time"] < rec["start_time"]):
+            raise ValueError("end_time earlier than start_time")
+        if np.any(rec["req_cpus"] <= 0) or np.any(rec["req_nodes"] <= 0):
+            raise ValueError("non-positive resource request")
+
+    def concat(self, other: "JobSet") -> "JobSet":
+        """Concatenate two traces (partition vocabularies must match)."""
+        if self.partition_names and other.partition_names:
+            if self.partition_names != other.partition_names:
+                raise ValueError("partition vocabularies differ")
+        names = self.partition_names or other.partition_names
+        return JobSet(
+            np.concatenate([self._records, other._records]), names
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"JobSet(n={len(self)}, partitions={list(self.partition_names)})"

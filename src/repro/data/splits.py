@@ -1,0 +1,120 @@
+"""Dataset splitting.
+
+The paper is emphatic that naive shuffled splits leak: users submit tens or
+hundreds of near-identical jobs back-to-back, so shuffling puts siblings of
+training jobs into the test set and roughly *doubles* apparent performance.
+The honest protocol is time-ordered: :class:`TimeSeriesSplit` (5 folds,
+test size one-sixth of the data, Fig. 3) plus :func:`holdout_recent` for the
+"most recent 20 %" validation/test reserve.  :func:`shuffled_split` exists
+only so the leakage ablation (experiment A2) can demonstrate the problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import default_rng
+
+__all__ = ["TimeSeriesSplit", "holdout_recent", "shuffled_split"]
+
+
+@dataclass(frozen=True)
+class TimeSeriesSplit:
+    """Expanding-window time-series cross-validation (Fig. 3).
+
+    Fold ``k`` trains on the first ``train_end(k)`` samples and tests on the
+    next ``test_size`` samples, where successive folds advance by
+    ``test_size``.  With the paper's settings (``n_splits=5``,
+    ``test_fraction=1/6``) the final fold tests on the most recent sixth of
+    the trace.
+
+    Samples must already be in time order (sort by eligibility first).
+    """
+
+    n_splits: int = 5
+    test_fraction: float = 1.0 / 6.0
+
+    def __post_init__(self) -> None:
+        if self.n_splits < 1:
+            raise ValueError(f"n_splits must be >= 1, got {self.n_splits}")
+        if not 0.0 < self.test_fraction < 1.0:
+            raise ValueError(
+                f"test_fraction must be in (0, 1), got {self.test_fraction}"
+            )
+
+    def test_size(self, n: int) -> int:
+        """Number of test samples per fold for a trace of length ``n``."""
+        return max(1, int(round(n * self.test_fraction)))
+
+    def split(self, n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_idx, test_idx)`` per fold, oldest fold first.
+
+        Raises if ``n`` is too small to give every fold a non-empty
+        training window.
+        """
+        ts = self.test_size(n)
+        first_train = n - self.n_splits * ts
+        if first_train < 1:
+            raise ValueError(
+                f"trace of {n} samples too small for {self.n_splits} folds of "
+                f"test size {ts}"
+            )
+        for k in range(self.n_splits):
+            train_end = first_train + k * ts
+            test_end = min(train_end + ts, n)
+            yield (
+                np.arange(0, train_end, dtype=np.intp),
+                np.arange(train_end, test_end, dtype=np.intp),
+            )
+
+    def fold_bounds(self, n: int) -> list[dict[str, int]]:
+        """Fold layout as plain dicts (used by the Fig. 3 bench/report)."""
+        out = []
+        for k, (train, test) in enumerate(self.split(n), start=1):
+            out.append(
+                {
+                    "fold": k,
+                    "train_start": 0,
+                    "train_end": int(train[-1]) + 1,
+                    "test_start": int(test[0]),
+                    "test_end": int(test[-1]) + 1,
+                }
+            )
+        return out
+
+
+def holdout_recent(n: int, fraction: float = 0.2) -> tuple[np.ndarray, np.ndarray]:
+    """Reserve the most recent ``fraction`` of samples (paper: 20 %).
+
+    Returns ``(past_idx, recent_idx)``; samples must be time-ordered.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    cut = n - max(1, int(round(n * fraction)))
+    if cut < 1:
+        raise ValueError(f"holdout fraction {fraction} leaves no training data")
+    return np.arange(0, cut, dtype=np.intp), np.arange(cut, n, dtype=np.intp)
+
+
+def shuffled_split(
+    n: int,
+    test_fraction: float = 1.0 / 6.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Leaky IID split used *only* by the leakage ablation (A2).
+
+    Shuffles all samples before splitting, which the paper shows inflates
+    measured performance ~2× because back-to-back sibling jobs straddle the
+    train/test boundary.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = default_rng(seed)
+    perm = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("test_fraction leaves no training data")
+    return np.sort(perm[:-n_test]), np.sort(perm[-n_test:])

@@ -1,0 +1,62 @@
+"""Descriptive trace statistics (paper Table I).
+
+Table I reports, for the Anvil history: requested time, runtime and wasted
+time in **hours** (max / mean / median / std-dev / count) plus the number of
+jobs submitted per user.  :func:`job_statistics` computes the same rows for
+any :class:`~repro.data.schema.JobSet` so the Table I bench can print a
+like-for-like table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.data.schema import JobSet
+
+__all__ = ["summarize_variable", "job_statistics"]
+
+
+def summarize_variable(values: np.ndarray) -> dict[str, float]:
+    """Max / mean / median / std (ddof=0) / count of one variable."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return {"max": 0.0, "mean": 0.0, "median": 0.0, "std": 0.0, "count": 0}
+    return {
+        "max": float(values.max()),
+        "mean": float(values.mean()),
+        "median": float(np.median(values)),
+        "std": float(values.std()),
+        "count": int(values.size),
+    }
+
+
+def job_statistics(jobs: JobSet) -> dict[str, dict[str, float]]:
+    """Compute the four Table I rows for a trace.
+
+    Returns a mapping of row name → summary dict.  Time rows are in hours;
+    the jobs-per-user row counts accounting records per distinct user.
+    """
+    req_hr = jobs.column("timelimit_min") / 60.0
+    run_hr = jobs.runtime_min / 60.0
+    wasted_hr = jobs.wasted_time_min / 60.0
+    _, per_user = np.unique(jobs.column("user_id"), return_counts=True)
+    return {
+        "Requested Time (hr)": summarize_variable(req_hr),
+        "Runtime (hr)": summarize_variable(run_hr),
+        "Wasted Time (hr)": summarize_variable(wasted_hr),
+        "Jobs Submitted By User": summarize_variable(per_user.astype(np.float64)),
+    }
+
+
+def format_statistics_table(stats: Mapping[str, Mapping[str, float]]) -> str:
+    """Render :func:`job_statistics` output as an aligned text table."""
+    header = f"{'Variable':<26}{'Max':>12}{'Mean':>10}{'Median':>10}{'Std Dev':>10}{'Count':>12}"
+    lines = [header, "-" * len(header)]
+    for name, row in stats.items():
+        lines.append(
+            f"{name:<26}{row['max']:>12.1f}{row['mean']:>10.2f}"
+            f"{row['median']:>10.2f}{row['std']:>10.2f}{int(row['count']):>12d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Text serialisation of job traces.
+
+A whitespace-separated format modelled on the Standard Workload Format
+(SWF): comment/header lines start with ``;``, one record per line, fixed
+column order.  This substitutes for the paper's PostgreSQL staging — the
+whole trace round-trips through a flat file that any tool can parse.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.schema import JOB_DTYPE, JobSet
+
+__all__ = ["write_swf", "read_swf", "SWF_COLUMNS"]
+
+#: Column order in the file; matches JOB_DTYPE field order.
+SWF_COLUMNS: tuple[str, ...] = tuple(JOB_DTYPE.names)
+
+_INT_FIELDS = {
+    name for name in SWF_COLUMNS if np.issubdtype(JOB_DTYPE[name], np.integer)
+}
+
+
+def write_swf(jobs: JobSet, path: str | Path) -> None:
+    """Write a trace to ``path`` with a self-describing header."""
+    path = Path(path)
+    buf = io.StringIO()
+    buf.write("; repro job trace v1\n")
+    buf.write(f"; partitions: {','.join(jobs.partition_names)}\n")
+    buf.write(f"; columns: {' '.join(SWF_COLUMNS)}\n")
+    rec = jobs.records
+    cols = []
+    for name in SWF_COLUMNS:
+        if name in _INT_FIELDS:
+            cols.append([str(int(v)) for v in rec[name]])
+        else:
+            cols.append([repr(float(v)) for v in rec[name]])
+    for row in zip(*cols):
+        buf.write(" ".join(row))
+        buf.write("\n")
+    path.write_text(buf.getvalue())
+
+
+def read_swf(path: str | Path) -> JobSet:
+    """Read a trace written by :func:`write_swf`."""
+    path = Path(path)
+    partition_names: Sequence[str] = ()
+    rows: list[tuple] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith(";"):
+                body = line[1:].strip()
+                if body.startswith("partitions:"):
+                    spec = body.split(":", 1)[1].strip()
+                    partition_names = tuple(p for p in spec.split(",") if p)
+                continue
+            parts = line.split()
+            if len(parts) != len(SWF_COLUMNS):
+                raise ValueError(
+                    f"bad record in {path}: expected {len(SWF_COLUMNS)} fields, "
+                    f"got {len(parts)}"
+                )
+            rows.append(tuple(parts))
+    rec = np.zeros(len(rows), dtype=JOB_DTYPE)
+    for j, name in enumerate(SWF_COLUMNS):
+        raw = [row[j] for row in rows]
+        if name in _INT_FIELDS:
+            rec[name] = np.array([int(v) for v in raw], dtype=JOB_DTYPE[name])
+        else:
+            rec[name] = np.array([float(v) for v in raw], dtype=np.float64)
+    return JobSet(rec, partition_names)

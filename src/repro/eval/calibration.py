@@ -1,0 +1,65 @@
+"""Uncertainty calibration for prediction intervals.
+
+The MC-dropout intervals of
+:meth:`repro.core.regressor.QueueTimeRegressor.predict_interval` answer
+§V's diagnosability concern only if they are *calibrated*: a nominal 80 %
+interval should cover roughly 80 % of actual outcomes.  This module
+measures that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_1d, check_consistent_length
+
+__all__ = ["interval_coverage", "coverage_curve"]
+
+
+def interval_coverage(
+    y_true: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+) -> dict[str, float]:
+    """Empirical coverage and sharpness of prediction intervals.
+
+    Returns ``coverage`` (fraction of truths inside [lower, upper]),
+    ``below`` / ``above`` (miss directions) and ``mean_width`` (interval
+    sharpness, same units as the target).
+    """
+    y_true = check_1d(y_true, "y_true")
+    lower = check_1d(lower, "lower")
+    upper = check_1d(upper, "upper")
+    check_consistent_length(y_true, lower, upper)
+    if np.any(upper < lower):
+        raise ValueError("upper bound below lower bound")
+    inside = (y_true >= lower) & (y_true <= upper)
+    return {
+        "coverage": float(np.mean(inside)),
+        "below": float(np.mean(y_true < lower)),
+        "above": float(np.mean(y_true > upper)),
+        "mean_width": float(np.mean(upper - lower)),
+    }
+
+
+def coverage_curve(
+    regressor,
+    X: np.ndarray,
+    minutes: np.ndarray,
+    alphas: np.ndarray | None = None,
+    n_samples: int = 30,
+) -> list[dict[str, float]]:
+    """Coverage at several nominal levels for one fitted regressor.
+
+    Each row pairs the nominal coverage ``1 − alpha`` with the empirical
+    coverage of the corresponding MC-dropout interval — the reliability
+    diagram's data.
+    """
+    if alphas is None:
+        alphas = np.array([0.5, 0.2, 0.1])
+    rows = []
+    for alpha in alphas:
+        iv = regressor.predict_interval(X, n_samples=n_samples, alpha=float(alpha))
+        stats = interval_coverage(minutes, iv["lower"], iv["upper"])
+        rows.append({"nominal": 1.0 - float(alpha), **stats})
+    return rows

@@ -1,0 +1,136 @@
+"""Report formatting: text tables and figure data series.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and give the density
+plot (Fig. 2) a concrete data representation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "density_series", "scatter_series", "ascii_scatter"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned text table."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float) or isinstance(v, np.floating):
+            return float_fmt.format(float(v))
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[j]) for r in cells)) if cells else len(str(h))
+        for j, h in enumerate(headers)
+    ]
+    out = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def density_series(
+    values: np.ndarray,
+    n_bins: int = 60,
+    log_scale: bool = True,
+    clip_min: float = 0.1,
+) -> dict[str, np.ndarray]:
+    """Histogram density of queue times (Fig. 2's underlying series).
+
+    With ``log_scale`` the bins are logarithmic in minutes (the queue-time
+    distribution spans seconds to days).  Returns bin centres and
+    normalised densities.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    if log_scale:
+        v = np.maximum(values, clip_min)
+        edges = np.logspace(
+            np.log10(clip_min), np.log10(max(v.max(), clip_min * 10)), n_bins + 1
+        )
+    else:
+        edges = np.linspace(values.min(), values.max(), n_bins + 1)
+    hist, edges = np.histogram(values, bins=edges, density=True)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    return {"bin_centers": centres, "density": hist, "edges": edges}
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 64,
+    height: int = 20,
+    log_scale: bool = True,
+    x_label: str = "actual",
+    y_label: str = "predicted",
+) -> str:
+    """Render a scatter plot as text (the terminal stand-in for Figs. 4-7).
+
+    Density per character cell is shown as ``. : * #``; the identity line
+    (perfect prediction) is drawn with ``/`` where no points land.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or len(x) == 0:
+        raise ValueError("x and y must be equal-length non-empty 1-D arrays")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4 characters")
+    if log_scale:
+        x = np.log10(np.maximum(x, 1e-3))
+        y = np.log10(np.maximum(y, 1e-3))
+    lo = float(min(x.min(), y.min()))
+    hi = float(max(x.max(), y.max()))
+    if hi <= lo:
+        hi = lo + 1.0
+    xi = np.clip(((x - lo) / (hi - lo) * (width - 1)).astype(int), 0, width - 1)
+    yi = np.clip(((y - lo) / (hi - lo) * (height - 1)).astype(int), 0, height - 1)
+    counts = np.zeros((height, width), dtype=np.int64)
+    np.add.at(counts, (yi, xi), 1)
+    peak = counts.max()
+    thresholds = [1, max(2, peak // 8), max(3, peak // 3), max(4, peak // 1)]
+    glyphs = ".:*#"
+    rows = []
+    for r in range(height - 1, -1, -1):
+        line = []
+        for c in range(width):
+            n = counts[r, c]
+            if n == 0:
+                # identity diagonal where the grids align
+                diag = int(round(r * (width - 1) / (height - 1)))
+                line.append("/" if diag == c else " ")
+            else:
+                g = glyphs[0]
+                for glyph, thr in zip(glyphs, thresholds):
+                    if n >= thr:
+                        g = glyph
+                line.append(g)
+        rows.append("|" + "".join(line))
+    axis = "+" + "-" * width
+    scale = "log10 " if log_scale else ""
+    footer = f" {scale}{x_label} → (range {lo:.1f}..{hi:.1f}); {y_label} ↑"
+    return "\n".join([*rows, axis, footer])
+
+
+def scatter_series(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    max_points: int = 2000,
+    seed: int = 0,
+) -> dict[str, np.ndarray]:
+    """Subsampled predicted-vs-actual points (Figs. 4/5/7 series)."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if len(y_true) > max_points:
+        rng = np.random.default_rng(seed)
+        sel = rng.choice(len(y_true), size=max_points, replace=False)
+        y_true, y_pred = y_true[sel], y_pred[sel]
+    return {"actual": y_true, "predicted": y_pred}

@@ -1,0 +1,13 @@
+"""Model explanation — the SHAP substitute.
+
+The paper prunes features "based on decreased performance in conjunction
+with looking at SHAP values".  This package provides permutation importance
+(model-agnostic, metric-based) and a KernelSHAP-style sampling explainer
+(coalition sampling + weighted least squares) sufficient for the same
+workflow: rank features, drop the near-zero ones.
+"""
+
+from repro.explain.kernel_shap import KernelShapExplainer
+from repro.explain.permutation import permutation_importance
+
+__all__ = ["permutation_importance", "KernelShapExplainer"]

@@ -1,0 +1,47 @@
+"""Feature engineering (paper §III, Table II).
+
+Submodules:
+
+- :mod:`repro.features.interval_tree` — centred interval trees with fully
+  vectorised batched stabbing queries, plus the paper's chunked
+  build-with-overlap-and-merge scheme and a naive baseline for the A1
+  ablation.
+- :mod:`repro.features.snapshots` — partition queue / running /
+  higher-priority ("ahead") aggregates at each job's eligibility instant.
+- :mod:`repro.features.user_history` — per-user past-day aggregates.
+- :mod:`repro.features.static_specs` — partition/cluster specification
+  features.
+- :mod:`repro.features.transforms` — log1p, min-max, standard and Box-Cox
+  scaling.
+- :mod:`repro.features.pipeline` — assembles the full Table II matrix.
+"""
+
+from repro.features.interval_tree import (
+    ChunkedIntervalForest,
+    IntervalTree,
+    naive_stab_batch,
+)
+from repro.features.names import FEATURE_NAMES, feature_index
+from repro.features.pipeline import FeatureMatrix, FeaturePipeline
+from repro.features.transforms import (
+    BoxCoxScaler,
+    Log1pTransform,
+    MinMaxScaler,
+    StandardScaler,
+    TransformChain,
+)
+
+__all__ = [
+    "IntervalTree",
+    "ChunkedIntervalForest",
+    "naive_stab_batch",
+    "FEATURE_NAMES",
+    "feature_index",
+    "FeaturePipeline",
+    "FeatureMatrix",
+    "Log1pTransform",
+    "MinMaxScaler",
+    "StandardScaler",
+    "BoxCoxScaler",
+    "TransformChain",
+]

@@ -1,0 +1,70 @@
+"""Canonical feature vocabulary (paper Table II).
+
+33 features in a fixed order; every matrix produced by
+:class:`repro.features.pipeline.FeaturePipeline` uses exactly this layout,
+and the regressor's "33 input features" statement in §III maps 1:1 onto it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["FEATURE_NAMES", "feature_index", "FEATURE_GROUPS"]
+
+#: Table II rows, grouped as: job request (5), partition higher-priority
+#: "ahead" aggregates (5), partition queue aggregates (5), partition running
+#: aggregates (5), user past-day aggregates (5), static partition specs (5),
+#: predicted-runtime features (3).
+FEATURE_NAMES: tuple[str, ...] = (
+    "priority",
+    "timelimit_raw",
+    "req_cpus",
+    "req_mem",
+    "req_nodes",
+    "par_jobs_ahead",
+    "par_cpus_ahead",
+    "par_mem_ahead",
+    "par_nodes_ahead",
+    "par_timelimit_ahead",
+    "par_jobs_queue",
+    "par_cpus_queue",
+    "par_mem_queue",
+    "par_nodes_queue",
+    "par_timelimit_queue",
+    "par_jobs_running",
+    "par_cpus_running",
+    "par_mem_running",
+    "par_nodes_running",
+    "par_timelimit_running",
+    "user_jobs_past_day",
+    "user_cpus_past_day",
+    "user_mem_past_day",
+    "user_nodes_past_day",
+    "user_timelimit_past_day",
+    "par_total_nodes",
+    "par_total_cpu",
+    "par_cpu_per_node",
+    "par_mem_per_node",
+    "par_total_gpu",
+    "pred_runtime",
+    "par_queue_pred_timelimit",
+    "par_running_pred_timelimit",
+)
+
+FEATURE_GROUPS: dict[str, tuple[str, ...]] = {
+    "request": FEATURE_NAMES[0:5],
+    "ahead": FEATURE_NAMES[5:10],
+    "queue": FEATURE_NAMES[10:15],
+    "running": FEATURE_NAMES[15:20],
+    "user": FEATURE_NAMES[20:25],
+    "static": FEATURE_NAMES[25:30],
+    "predicted": FEATURE_NAMES[30:33],
+}
+
+_INDEX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def feature_index(name: str) -> int:
+    """Column index of a feature name in the canonical layout."""
+    try:
+        return _INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown feature {name!r}") from None

@@ -1,0 +1,48 @@
+"""Trial pruning (early termination of unpromising trials)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TrialPruned", "MedianPruner", "NopPruner"]
+
+
+class TrialPruned(Exception):
+    """Raised inside an objective to abandon the current trial."""
+
+
+class NopPruner:
+    """Never prunes."""
+
+    def should_prune(self, step: int, value: float, history: list[dict[int, float]]) -> bool:
+        return False
+
+
+class MedianPruner:
+    """Prune when a trial's intermediate value is worse than the median of
+    completed trials at the same step (Optuna's default pruner).
+
+    Parameters
+    ----------
+    n_startup_trials:
+        Trials that are never pruned (to build the baseline).
+    n_warmup_steps:
+        Steps within a trial before pruning may trigger.
+    """
+
+    def __init__(self, n_startup_trials: int = 5, n_warmup_steps: int = 0) -> None:
+        if n_startup_trials < 0 or n_warmup_steps < 0:
+            raise ValueError("pruner thresholds must be non-negative")
+        self.n_startup_trials = n_startup_trials
+        self.n_warmup_steps = n_warmup_steps
+
+    def should_prune(
+        self, step: int, value: float, history: list[dict[int, float]]
+    ) -> bool:
+        """``history`` holds each completed trial's step → value reports."""
+        if len(history) < self.n_startup_trials or step < self.n_warmup_steps:
+            return False
+        at_step = [h[step] for h in history if step in h]
+        if not at_step:
+            return False
+        return value > float(np.median(at_step))

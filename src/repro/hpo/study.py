@@ -1,0 +1,170 @@
+"""Define-by-run studies (the Optuna-style driver).
+
+An objective receives a :class:`Trial` and calls ``suggest_float`` /
+``suggest_int`` / ``suggest_categorical``; the study minimises the returned
+value.  Intermediate values can be reported for pruning.
+
+Example::
+
+    def objective(trial):
+        lr = trial.suggest_float("lr", 1e-4, 1e-1, log=True)
+        width = trial.suggest_int("width", 16, 256, log=True)
+        return train_and_eval(lr, width)
+
+    study = Study(sampler=TPESampler(seed=0))
+    study.optimize(objective, n_trials=40)
+    print(study.best_params, study.best_value)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.hpo.pruners import MedianPruner, NopPruner, TrialPruned
+from repro.hpo.samplers import RandomSampler, Sampler
+from repro.hpo.space import Categorical, Float, Int, SearchSpace
+from repro.utils.logging import get_logger
+
+__all__ = ["Trial", "FrozenTrial", "Study"]
+
+log = get_logger(__name__)
+
+
+@dataclass
+class FrozenTrial:
+    """Completed (or pruned) trial record."""
+
+    number: int
+    params: dict[str, Any]
+    units: dict[str, float]
+    value: float | None
+    pruned: bool
+    intermediate: dict[int, float] = field(default_factory=dict)
+
+
+class Trial:
+    """Live trial handed to the objective."""
+
+    def __init__(self, study: "Study", number: int) -> None:
+        self._study = study
+        self.number = number
+        self.params: dict[str, Any] = {}
+        self.units: dict[str, float] = {}
+        self.intermediate: dict[int, float] = {}
+
+    # -- suggest API ---------------------------------------------------- #
+    def suggest_float(
+        self, name: str, low: float, high: float, log: bool = False
+    ) -> float:
+        param = self._study.space.register(name, Float(low, high, log=log))
+        return self._suggest(name, param)
+
+    def suggest_int(self, name: str, low: int, high: int, log: bool = False) -> int:
+        param = self._study.space.register(name, Int(low, high, log=log))
+        return self._suggest(name, param)
+
+    def suggest_categorical(self, name: str, choices: list) -> Any:
+        param = self._study.space.register(name, Categorical(choices))
+        return self._suggest(name, param)
+
+    def _suggest(self, name: str, param) -> Any:
+        if name in self.params:
+            return self.params[name]
+        units, values = self._study._history_for(name)
+        u = self._study.sampler.sample_unit(param, units, values)
+        value = param.from_unit(u)
+        self.units[name] = u
+        self.params[name] = value
+        return value
+
+    # -- pruning API ----------------------------------------------------- #
+    def report(self, step: int, value: float) -> None:
+        """Record an intermediate objective value at ``step``."""
+        self.intermediate[step] = float(value)
+
+    def should_prune(self, step: int) -> bool:
+        """Ask the study's pruner whether to abandon this trial."""
+        if step not in self.intermediate:
+            raise KeyError(f"report(step={step}, ...) before should_prune({step})")
+        history = [
+            t.intermediate for t in self._study.trials if not t.pruned and t.intermediate
+        ]
+        return self._study.pruner.should_prune(
+            step, self.intermediate[step], history
+        )
+
+
+class Study:
+    """Minimisation study.
+
+    Parameters
+    ----------
+    sampler:
+        Suggestion strategy; defaults to :class:`RandomSampler`.
+    pruner:
+        Intermediate-value pruner; defaults to :class:`MedianPruner`.
+    """
+
+    def __init__(self, sampler: Sampler | None = None, pruner=None) -> None:
+        self.sampler = sampler or RandomSampler()
+        self.pruner = pruner if pruner is not None else MedianPruner()
+        self.space = SearchSpace()
+        self.trials: list[FrozenTrial] = []
+
+    # ------------------------------------------------------------------ #
+    def _history_for(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        units, values = [], []
+        for t in self.trials:
+            if not t.pruned and t.value is not None and name in t.units:
+                units.append(t.units[name])
+                values.append(t.value)
+        return np.asarray(units), np.asarray(values)
+
+    def optimize(
+        self, objective: Callable[[Trial], float], n_trials: int
+    ) -> "Study":
+        """Run ``n_trials`` trials; pruned trials are recorded but unscored."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        for _ in range(n_trials):
+            trial = Trial(self, number=len(self.trials))
+            try:
+                value = float(objective(trial))
+                pruned = False
+            except TrialPruned:
+                value = None
+                pruned = True
+            self.trials.append(
+                FrozenTrial(
+                    number=trial.number,
+                    params=dict(trial.params),
+                    units=dict(trial.units),
+                    value=value,
+                    pruned=pruned,
+                    intermediate=dict(trial.intermediate),
+                )
+            )
+            log.debug("trial %d: value=%s params=%s", trial.number, value, trial.params)
+        return self
+
+    @property
+    def completed_trials(self) -> list[FrozenTrial]:
+        return [t for t in self.trials if not t.pruned and t.value is not None]
+
+    @property
+    def best_trial(self) -> FrozenTrial:
+        done = self.completed_trials
+        if not done:
+            raise RuntimeError("no completed trials")
+        return min(done, key=lambda t: t.value)
+
+    @property
+    def best_value(self) -> float:
+        return self.best_trial.value
+
+    @property
+    def best_params(self) -> dict[str, Any]:
+        return dict(self.best_trial.params)

@@ -1,0 +1,166 @@
+"""Elementwise activations with exact derivatives.
+
+The paper selected ELU for the regressor "as it achieved marginally better
+results than other standard activation functions, such as ReLU"; the HPO
+search space also spans the alternatives here.  Each activation implements
+``forward(x)`` and ``backward(grad, x, out)`` where ``x`` is the cached
+input and ``out`` the cached output (some derivatives are cheaper in terms
+of the output).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ActivationFn",
+    "ReLU",
+    "LeakyReLU",
+    "ELU",
+    "Sigmoid",
+    "Tanh",
+    "GELU",
+    "Identity",
+    "get_activation",
+]
+
+
+class ActivationFn:
+    """Base class; subclasses are stateless and hyperparameter-light."""
+
+    name = "base"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def config(self) -> dict:
+        """Serialisable constructor arguments."""
+        return {}
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Identity(ActivationFn):
+    """f(x) = x (output layers of regression heads)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad
+
+
+class ReLU(ActivationFn):
+    """f(x) = max(0, x)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad * (x > 0.0)
+
+
+class LeakyReLU(ActivationFn):
+    """f(x) = x if x>0 else αx."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01) -> None:
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.alpha = alpha
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad * np.where(x > 0.0, 1.0, self.alpha)
+
+    def config(self) -> dict:
+        return {"alpha": self.alpha}
+
+
+class ELU(ActivationFn):
+    """f(x) = x if x>0 else α(eˣ−1) (Clevert et al. 2016) — the paper's pick."""
+
+    name = "elu"
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.alpha = alpha
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.where(x > 0.0, x, self.alpha * np.expm1(np.minimum(x, 0.0)))
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        # For x<=0, f'(x) = f(x) + α; for x>0, 1.
+        return grad * np.where(x > 0.0, 1.0, out + self.alpha)
+
+    def config(self) -> dict:
+        return {"alpha": self.alpha}
+
+
+class Sigmoid(ActivationFn):
+    """Logistic; numerically stable via tanh."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return 0.5 * (1.0 + np.tanh(0.5 * x))
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad * out * (1.0 - out)
+
+
+class Tanh(ActivationFn):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - out * out)
+
+
+class GELU(ActivationFn):
+    """Gaussian error linear unit (tanh approximation)."""
+
+    name = "gelu"
+
+    _C = np.sqrt(2.0 / np.pi)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return 0.5 * x * (1.0 + np.tanh(self._C * (x + 0.044715 * x**3)))
+
+    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+        inner = self._C * (x + 0.044715 * x**3)
+        t = np.tanh(inner)
+        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
+        return grad * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner)
+
+
+_REGISTRY: dict[str, type[ActivationFn]] = {
+    cls.name: cls
+    for cls in (Identity, ReLU, LeakyReLU, ELU, Sigmoid, Tanh, GELU)
+}
+
+
+def get_activation(name: str, **kwargs) -> ActivationFn:
+    """Instantiate an activation by registry name."""
+    try:
+        return _REGISTRY[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

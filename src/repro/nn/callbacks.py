@@ -1,0 +1,124 @@
+"""Training callbacks: early stopping, LR schedules, history."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nn.network import Sequential
+
+__all__ = ["Callback", "EarlyStopping", "History", "LRSchedule"]
+
+
+class Callback:
+    """Hook invoked at epoch boundaries.  Return ``True`` to stop training."""
+
+    def on_train_begin(self, net: "Sequential") -> None:
+        pass
+
+    def on_epoch_end(self, net: "Sequential", epoch: int, logs: Mapping[str, float]) -> bool:
+        return False
+
+    def on_train_end(self, net: "Sequential") -> None:
+        pass
+
+
+class History(Callback):
+    """Records per-epoch logs into :attr:`epochs`."""
+
+    def __init__(self) -> None:
+        self.epochs: list[dict[str, float]] = []
+
+    def on_train_begin(self, net: "Sequential") -> None:
+        self.epochs = []
+
+    def on_epoch_end(self, net, epoch, logs) -> bool:
+        self.epochs.append(dict(logs))
+        return False
+
+    def series(self, key: str) -> np.ndarray:
+        """Per-epoch values of one logged metric."""
+        return np.array([e.get(key, np.nan) for e in self.epochs])
+
+
+class EarlyStopping(Callback):
+    """Stop when a monitored metric stops improving; restore best weights.
+
+    Parameters
+    ----------
+    monitor:
+        Key in the epoch logs (``"loss"`` or ``"val_loss"``).
+    patience:
+        Epochs without improvement tolerated before stopping.
+    min_delta:
+        Minimum decrease that counts as improvement.
+    restore_best:
+        Copy the best epoch's weights back at training end.
+    """
+
+    def __init__(
+        self,
+        monitor: str = "val_loss",
+        patience: int = 5,
+        min_delta: float = 0.0,
+        restore_best: bool = True,
+    ) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.monitor = monitor
+        self.patience = patience
+        self.min_delta = min_delta
+        self.restore_best = restore_best
+        self.best: float = np.inf
+        self.best_epoch: int = -1
+        self._since_best = 0
+        self._best_weights: list[np.ndarray] | None = None
+
+    def on_train_begin(self, net: "Sequential") -> None:
+        self.best = np.inf
+        self.best_epoch = -1
+        self._since_best = 0
+        self._best_weights = None
+
+    def on_epoch_end(self, net, epoch, logs) -> bool:
+        value = logs.get(self.monitor)
+        if value is None:
+            raise KeyError(
+                f"EarlyStopping monitors {self.monitor!r} but epoch logs "
+                f"only contain {sorted(logs)}"
+            )
+        if value < self.best - self.min_delta:
+            self.best = float(value)
+            self.best_epoch = epoch
+            self._since_best = 0
+            if self.restore_best:
+                self._best_weights = [p.copy() for p in net.parameters()]
+            return False
+        self._since_best += 1
+        return self._since_best >= self.patience
+
+    def on_train_end(self, net: "Sequential") -> None:
+        if self.restore_best and self._best_weights is not None:
+            for p, best in zip(net.parameters(), self._best_weights):
+                p[...] = best
+
+
+class LRSchedule(Callback):
+    """Multiplicative learning-rate decay every ``step`` epochs."""
+
+    def __init__(self, factor: float = 0.5, step: int = 10, min_lr: float = 1e-6):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.factor = factor
+        self.step = step
+        self.min_lr = min_lr
+
+    def on_epoch_end(self, net, epoch, logs) -> bool:
+        if (epoch + 1) % self.step == 0:
+            opt = net.optimizer
+            opt.lr = max(opt.lr * self.factor, self.min_lr)
+        return False

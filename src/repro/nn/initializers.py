@@ -1,0 +1,63 @@
+"""Weight initialisers.
+
+He initialisation for rectifier-family activations (ReLU/ELU — the paper's
+regressor uses ELU throughout), Glorot for sigmoid/tanh outputs.  Each
+initialiser takes ``(fan_in, fan_out, rng)`` and returns a ``(fan_in,
+fan_out)`` float64 matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "he_normal",
+    "he_uniform",
+    "glorot_normal",
+    "glorot_uniform",
+    "get_initializer",
+]
+
+Initializer = Callable[[int, int, np.random.Generator], np.ndarray]
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """N(0, 2/fan_in) — standard for ReLU/ELU stacks."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """U(−√(6/fan_in), +√(6/fan_in))."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def glorot_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """N(0, 2/(fan_in+fan_out)) — for saturating activations."""
+    return rng.normal(0.0, np.sqrt(2.0 / (fan_in + fan_out)), size=(fan_in, fan_out))
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """U(±√(6/(fan_in+fan_out)))."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+_REGISTRY: dict[str, Initializer] = {
+    "he_normal": he_normal,
+    "he_uniform": he_uniform,
+    "glorot_normal": glorot_normal,
+    "glorot_uniform": glorot_uniform,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initialiser by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown initializer {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,236 @@
+"""Network layers.
+
+Every layer implements ``forward(x, training)`` and ``backward(grad)``
+(which must be called after the corresponding forward, as layers cache the
+activations backprop needs), and exposes parameter / gradient arrays that
+optimisers update in place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ActivationFn, get_activation
+from repro.nn.initializers import get_initializer
+from repro.utils.rng import default_rng
+
+__all__ = ["Layer", "Dense", "Activation", "Dropout", "BatchNorm1d"]
+
+
+class Layer:
+    """Base layer: stateless pass-through with no parameters."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        """Trainable parameter arrays (updated in place by optimisers)."""
+        return []
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        """Gradient arrays parallel to :attr:`params`."""
+        return []
+
+    def config(self) -> dict:
+        """Serialisable constructor description (see serialize module)."""
+        return {}
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.params)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = xW + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input/output widths.
+    init:
+        Weight initialiser name (see :mod:`repro.nn.initializers`).
+    seed:
+        Seed or generator for the initialiser.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        init: str = "he_normal",
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("layer widths must be positive")
+        rng = default_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.init = init
+        self.W = get_initializer(init)(in_features, out_features, rng)
+        self.b = np.zeros(out_features, dtype=np.float64)
+        self.dW = np.zeros_like(self.W)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense({self.in_features}->{self.out_features}) got input "
+                f"shape {x.shape}"
+            )
+        self._x = x if training else None
+        return x @ self.W + self.b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        # In-place writes keep optimiser references valid.
+        np.matmul(self._x.T, grad, out=self.dW)
+        np.sum(grad, axis=0, out=self.db)
+        return grad @ self.W.T
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.W, self.b]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.dW, self.db]
+
+    def config(self) -> dict:
+        return {
+            "kind": "dense",
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "init": self.init,
+        }
+
+
+class Activation(Layer):
+    """Wraps an :class:`~repro.nn.activations.ActivationFn` as a layer."""
+
+    def __init__(self, fn: ActivationFn | str, **kwargs) -> None:
+        self.fn = get_activation(fn, **kwargs) if isinstance(fn, str) else fn
+        self._x: np.ndarray | None = None
+        self._out: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = self.fn.forward(x)
+        if training:
+            self._x, self._out = x, out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        return self.fn.backward(grad, self._x, self._out)
+
+    def config(self) -> dict:
+        return {"kind": "activation", "name": self.fn.name, **self.fn.config()}
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only in training, identity at inference."""
+
+    def __init__(self, p: float, seed: int | np.random.Generator | None = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+    def config(self) -> dict:
+        return {"kind": "dropout", "p": self.p}
+
+
+class BatchNorm1d(Layer):
+    """Batch normalisation over the batch axis (Ioffe & Szegedy 2015).
+
+    The paper tested this on the regressor and rejected it (wide-range
+    targets plus huge hidden layers made it impractical); it is kept for
+    the batch-norm ablation.  Training uses batch statistics and maintains
+    exponential running estimates for inference.
+    """
+
+    def __init__(self, n_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        if n_features <= 0:
+            raise ValueError("n_features must be positive")
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError("momentum must be in (0, 1]")
+        self.n_features = n_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = np.ones(n_features, dtype=np.float64)
+        self.beta = np.zeros(n_features, dtype=np.float64)
+        self.dgamma = np.zeros_like(self.gamma)
+        self.dbeta = np.zeros_like(self.beta)
+        self.running_mean = np.zeros(n_features, dtype=np.float64)
+        self.running_var = np.ones(n_features, dtype=np.float64)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean += self.momentum * (mean - self.running_mean)
+            self.running_var += self.momentum * (var - self.running_var)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean) * inv_std
+            self._cache = (x_hat, inv_std)
+            return self.gamma * x_hat + self.beta
+        inv_std = 1.0 / np.sqrt(self.running_var + self.eps)
+        return self.gamma * (x - self.running_mean) * inv_std + self.beta
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        x_hat, inv_std = self._cache
+        n = grad.shape[0]
+        np.sum(grad * x_hat, axis=0, out=self.dgamma)
+        np.sum(grad, axis=0, out=self.dbeta)
+        # Standard batchnorm backward in terms of normalised activations.
+        dxhat = grad * self.gamma
+        return (
+            inv_std
+            / n
+            * (n * dxhat - dxhat.sum(axis=0) - x_hat * (dxhat * x_hat).sum(axis=0))
+        )
+
+    @property
+    def params(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    @property
+    def grads(self) -> list[np.ndarray]:
+        return [self.dgamma, self.dbeta]
+
+    def config(self) -> dict:
+        return {
+            "kind": "batchnorm1d",
+            "n_features": self.n_features,
+            "momentum": self.momentum,
+            "eps": self.eps,
+        }
+
+    @property
+    def state_arrays(self) -> list[np.ndarray]:
+        """Non-trainable state persisted by the serialiser."""
+        return [self.running_mean, self.running_var]

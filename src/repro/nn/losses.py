@@ -1,0 +1,127 @@
+"""Training losses.
+
+The regressor uses smooth L1 (Girshick 2015) — "a combination of mean
+absolute error and mean squared error … can account for large misses due to
+long queue time jobs with outlier wait times and help prevent the effects of
+the exploding gradient problem".  The classifier trains on
+BCE-with-logits, the differentiable surrogate of the paper's "pure
+percentage accuracy" objective (valid because SMOTE balances the classes).
+
+All losses return the *mean* over elements; ``backward`` returns the
+gradient w.r.t. predictions with the 1/N folded in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Loss", "MSELoss", "MAELoss", "SmoothL1Loss", "BCEWithLogitsLoss", "get_loss"]
+
+
+class Loss:
+    """Base loss; stateless apart from the cached residuals."""
+
+    name = "base"
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        pred = np.asarray(pred, dtype=np.float64)
+        target = np.asarray(target, dtype=np.float64)
+        if pred.shape != target.shape:
+            raise ValueError(
+                f"pred shape {pred.shape} != target shape {target.shape}"
+            )
+        return pred, target
+
+
+class MSELoss(Loss):
+    """Mean squared error."""
+
+    name = "mse"
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred, target = self._check(pred, target)
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size
+
+
+class MAELoss(Loss):
+    """Mean absolute error (subgradient 0 at exact zeros)."""
+
+    name = "mae"
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred, target = self._check(pred, target)
+        self._diff = pred - target
+        return float(np.mean(np.abs(self._diff)))
+
+    def backward(self) -> np.ndarray:
+        return np.sign(self._diff) / self._diff.size
+
+
+class SmoothL1Loss(Loss):
+    """Huber-style smooth L1: quadratic inside ``beta``, linear outside."""
+
+    name = "smooth_l1"
+
+    def __init__(self, beta: float = 1.0) -> None:
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        self.beta = beta
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        pred, target = self._check(pred, target)
+        self._diff = pred - target
+        a = np.abs(self._diff)
+        quad = 0.5 * a**2 / self.beta
+        lin = a - 0.5 * self.beta
+        return float(np.mean(np.where(a < self.beta, quad, lin)))
+
+    def backward(self) -> np.ndarray:
+        a = np.abs(self._diff)
+        g = np.where(a < self.beta, self._diff / self.beta, np.sign(self._diff))
+        return g / self._diff.size
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross-entropy on raw logits (numerically stable).
+
+    ``loss = mean(max(z,0) − z·y + log(1+e^{−|z|}))``; the gradient is the
+    classic ``σ(z) − y``.
+    """
+
+    name = "bce_logits"
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        z, y = self._check(pred, target)
+        if np.any((y < 0) | (y > 1)):
+            raise ValueError("targets must lie in [0, 1]")
+        self._sig = 0.5 * (1.0 + np.tanh(0.5 * z))
+        self._y = y
+        loss = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        return float(np.mean(loss))
+
+    def backward(self) -> np.ndarray:
+        return (self._sig - self._y) / self._y.size
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    cls.name: cls for cls in (MSELoss, MAELoss, SmoothL1Loss, BCEWithLogitsLoss)
+}
+
+
+def get_loss(name: str, **kwargs) -> Loss:
+    """Instantiate a loss by registry name."""
+    try:
+        return _REGISTRY[name](**kwargs)
+    except KeyError:
+        raise KeyError(f"unknown loss {name!r}; known: {sorted(_REGISTRY)}") from None

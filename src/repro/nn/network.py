@@ -1,0 +1,173 @@
+"""Sequential network with minibatch training.
+
+The container for the paper's two models: the 2-hidden-layer quick-start
+classifier and the 3-hidden-layer ELU regressor.  ``fit`` runs shuffled
+minibatch epochs with optional validation and callbacks; ``predict``
+streams batches so inference over a full trace never materialises giant
+intermediates.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.callbacks import Callback, History
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss, get_loss
+from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_2d, check_consistent_length
+
+__all__ = ["Sequential"]
+
+
+class Sequential:
+    """A stack of layers trained end to end.
+
+    Usage::
+
+        net = Sequential([Dense(33, 128, seed=rng), Activation("elu"), ...])
+        net.compile(loss="smooth_l1", optimizer=Adam(lr=1e-3))
+        net.fit(X, y, epochs=30, batch_size=512, seed=0)
+        pred = net.predict(X_new)
+    """
+
+    def __init__(self, layers: Sequence[Layer] | None = None) -> None:
+        self.layers: list[Layer] = list(layers or [])
+        self.loss: Loss | None = None
+        self.optimizer: Optimizer | None = None
+        self.history = History()
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer (chainable)."""
+        self.layers.append(layer)
+        return self
+
+    def compile(self, loss: Loss | str, optimizer: Optimizer | str = "adam") -> "Sequential":
+        """Attach loss and optimiser."""
+        self.loss = get_loss(loss) if isinstance(loss, str) else loss
+        self.optimizer = (
+            get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
+        )
+        return self
+
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> list[np.ndarray]:
+        """All trainable parameter arrays, in layer order."""
+        return [p for layer in self.layers for p in layer.params]
+
+    def gradients(self) -> list[np.ndarray]:
+        """Gradient arrays parallel to :meth:`parameters`."""
+        return [g for layer in self.layers for g in layer.grads]
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the stack; 1-column outputs stay 2-D until :meth:`predict`."""
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backprop through the stack; returns grad w.r.t. the input."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def train_batch(self, xb: np.ndarray, yb: np.ndarray) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        if self.loss is None or self.optimizer is None:
+            raise RuntimeError("call compile() before training")
+        out = self.forward(xb, training=True)
+        loss_val = self.loss.forward(out, yb)
+        self.backward(self.loss.backward())
+        self.optimizer.step(self.parameters(), self.gradients())
+        return loss_val
+
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 10,
+        batch_size: int = 256,
+        validation_data: tuple[np.ndarray, np.ndarray] | None = None,
+        callbacks: Sequence[Callback] = (),
+        seed: int | np.random.Generator | None = None,
+        shuffle: bool = True,
+    ) -> History:
+        """Minibatch training.
+
+        ``y`` may be 1-D (promoted to a column) or 2-D.  Returns the
+        :class:`History` with per-epoch ``loss`` (mean over batches) and,
+        when validation data is given, ``val_loss``.
+        """
+        X = check_2d(X, "X")
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        check_consistent_length(X, y)
+        if epochs < 1 or batch_size < 1:
+            raise ValueError("epochs and batch_size must be >= 1")
+        if self.loss is None or self.optimizer is None:
+            raise RuntimeError("call compile() before fit()")
+        rng = default_rng(seed)
+        n = len(X)
+        cbs = [self.history, *callbacks]
+        for cb in cbs:
+            cb.on_train_begin(self)
+        stop = False
+        for epoch in range(epochs):
+            order = rng.permutation(n) if shuffle else np.arange(n)
+            total = 0.0
+            n_batches = 0
+            for lo in range(0, n, batch_size):
+                sel = order[lo : lo + batch_size]
+                total += self.train_batch(X[sel], y[sel])
+                n_batches += 1
+            logs: dict[str, float] = {"loss": total / max(n_batches, 1)}
+            if validation_data is not None:
+                logs["val_loss"] = self.evaluate(*validation_data, batch_size=batch_size)
+            for cb in cbs:
+                stop = cb.on_epoch_end(self, epoch, logs) or stop
+            if stop:
+                break
+        for cb in cbs:
+            cb.on_train_end(self)
+        return self.history
+
+    def predict(self, X: np.ndarray, batch_size: int = 4096) -> np.ndarray:
+        """Inference in batches; single-output nets return a 1-D array."""
+        X = check_2d(X, "X")
+        outs = [
+            self.forward(X[lo : lo + batch_size], training=False)
+            for lo in range(0, len(X), batch_size)
+        ]
+        out = np.concatenate(outs, axis=0)
+        return out.ravel() if out.shape[1] == 1 else out
+
+    def evaluate(
+        self, X: np.ndarray, y: np.ndarray, batch_size: int = 4096
+    ) -> float:
+        """Mean loss over a dataset (sample-weighted across batches)."""
+        if self.loss is None:
+            raise RuntimeError("call compile() before evaluate()")
+        X = check_2d(X, "X")
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim == 1:
+            y = y.reshape(-1, 1)
+        total = 0.0
+        for lo in range(0, len(X), batch_size):
+            xb = X[lo : lo + batch_size]
+            yb = y[lo : lo + batch_size]
+            total += self.loss.forward(self.forward(xb, training=False), yb) * len(xb)
+        return total / len(X)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential([{inner}], n_params={self.n_parameters})"

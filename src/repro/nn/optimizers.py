@@ -1,0 +1,187 @@
+"""First-order optimisers.
+
+Both of the paper's models train with Adam (Kingma & Ba).  Optimisers hold
+slot buffers keyed by parameter identity and update parameter arrays in
+place, so layers keep their references across steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "RMSProp", "get_optimizer"]
+
+
+class Optimizer:
+    """Base optimiser over (param, grad) array pairs.
+
+    ``clip_norm`` applies global gradient-norm clipping before the update —
+    the standard complement to the paper's smooth-L1 choice against "the
+    effects of the exploding gradient problem".
+    """
+
+    name = "base"
+
+    def __init__(self, lr: float = 1e-3, clip_norm: float | None = None) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        if clip_norm is not None and clip_norm <= 0:
+            raise ValueError(f"clip_norm must be positive, got {clip_norm}")
+        self.lr = lr
+        self.clip_norm = clip_norm
+        self._slots: dict[int, dict[str, np.ndarray]] = {}
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        """Apply one update; parameters are modified in place."""
+        if len(params) != len(grads):
+            raise ValueError("params and grads must be parallel lists")
+        for p, g in zip(params, grads):
+            if p.shape != g.shape:
+                raise ValueError(f"param/grad shape mismatch: {p.shape} vs {g.shape}")
+        if self.clip_norm is not None:
+            total = float(np.sqrt(sum(float(np.sum(g * g)) for g in grads)))
+            if total > self.clip_norm:
+                scale = self.clip_norm / total
+                grads = [g * scale for g in grads]
+        for p, g in zip(params, grads):
+            self._update(p, g, self._slot(p))
+
+    def _slot(self, p: np.ndarray) -> dict[str, np.ndarray]:
+        key = id(p)
+        if key not in self._slots:
+            self._slots[key] = self._init_slot(p)
+        return self._slots[key]
+
+    def _init_slot(self, p: np.ndarray) -> dict[str, np.ndarray]:
+        return {}
+
+    def _update(self, p: np.ndarray, g: np.ndarray, slot: dict[str, np.ndarray]) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional (Nesterov) momentum."""
+
+    name = "sgd"
+
+    def __init__(
+        self,
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        clip_norm: float | None = None,
+    ):
+        super().__init__(lr, clip_norm)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = momentum
+        self.nesterov = nesterov
+
+    def _init_slot(self, p: np.ndarray) -> dict[str, np.ndarray]:
+        return {"v": np.zeros_like(p)} if self.momentum else {}
+
+    def _update(self, p, g, slot) -> None:
+        if self.momentum:
+            v = slot["v"]
+            v *= self.momentum
+            v -= self.lr * g
+            if self.nesterov:
+                p += self.momentum * v - self.lr * g
+            else:
+                p += v
+        else:
+            p -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba 2015)."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(lr, clip_norm)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+
+    def _init_slot(self, p: np.ndarray) -> dict[str, np.ndarray]:
+        return {"m": np.zeros_like(p), "v": np.zeros_like(p), "t": np.zeros(1)}
+
+    def _update(self, p, g, slot) -> None:
+        m, v, t = slot["m"], slot["v"], slot["t"]
+        t += 1.0
+        m *= self.beta1
+        m += (1.0 - self.beta1) * g
+        v *= self.beta2
+        v += (1.0 - self.beta2) * g * g
+        t_val = float(t[0])
+        mhat = m / (1.0 - self.beta1**t_val)
+        vhat = v / (1.0 - self.beta2**t_val)
+        p -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay."""
+
+    name = "adamw"
+
+    def __init__(self, lr: float = 1e-3, weight_decay: float = 1e-2, **kwargs) -> None:
+        super().__init__(lr, **kwargs)
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.weight_decay = weight_decay
+
+    def _update(self, p, g, slot) -> None:
+        p -= self.lr * self.weight_decay * p
+        super()._update(p, g, slot)
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving second moment."""
+
+    name = "rmsprop"
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+        clip_norm: float | None = None,
+    ) -> None:
+        super().__init__(lr, clip_norm)
+        if not 0.0 <= rho < 1.0:
+            raise ValueError("rho must be in [0, 1)")
+        self.rho, self.eps = rho, eps
+
+    def _init_slot(self, p: np.ndarray) -> dict[str, np.ndarray]:
+        return {"s": np.zeros_like(p)}
+
+    def _update(self, p, g, slot) -> None:
+        s = slot["s"]
+        s *= self.rho
+        s += (1.0 - self.rho) * g * g
+        p -= self.lr * g / (np.sqrt(s) + self.eps)
+
+
+_REGISTRY: dict[str, type[Optimizer]] = {
+    cls.name: cls for cls in (SGD, Adam, AdamW, RMSProp)
+}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimiser by registry name."""
+    try:
+        return _REGISTRY[name](**kwargs)
+    except KeyError:
+        raise KeyError(
+            f"unknown optimizer {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,77 @@
+"""Network serialisation to ``.npz``.
+
+The architecture is stored as a JSON config string alongside the weight
+arrays (and batch-norm running statistics), so a trained TROUT model
+round-trips through a single file the CLI can load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.layers import Activation, BatchNorm1d, Dense, Dropout, Layer
+from repro.nn.network import Sequential
+
+__all__ = ["save_network", "load_network"]
+
+
+def _layer_from_config(cfg: dict) -> Layer:
+    kind = cfg.get("kind")
+    if kind == "dense":
+        return Dense(cfg["in_features"], cfg["out_features"], init=cfg.get("init", "he_normal"), seed=0)
+    if kind == "activation":
+        kwargs = {k: v for k, v in cfg.items() if k not in ("kind", "name")}
+        return Activation(cfg["name"], **kwargs)
+    if kind == "dropout":
+        return Dropout(cfg["p"], seed=0)
+    if kind == "batchnorm1d":
+        return BatchNorm1d(cfg["n_features"], momentum=cfg["momentum"], eps=cfg["eps"])
+    raise ValueError(f"unknown layer kind {kind!r} in saved network")
+
+
+def save_network(net: Sequential, path: str | Path) -> None:
+    """Write architecture + weights (+ batchnorm state) to ``path``."""
+    path = Path(path)
+    configs = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, layer in enumerate(net.layers):
+        cfg = layer.config()
+        if not cfg:
+            raise ValueError(
+                f"layer {type(layer).__name__} has no config and cannot be saved"
+            )
+        configs.append(cfg)
+        for j, p in enumerate(layer.params):
+            arrays[f"param_{i}_{j}"] = p
+        if isinstance(layer, BatchNorm1d):
+            for j, s in enumerate(layer.state_arrays):
+                arrays[f"state_{i}_{j}"] = s
+    arrays["__config__"] = np.frombuffer(
+        json.dumps(configs).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **arrays)
+
+
+def load_network(path: str | Path) -> Sequential:
+    """Rebuild a :func:`save_network` file.  Loss/optimiser are not saved;
+    call :meth:`Sequential.compile` again before further training."""
+    path = Path(path)
+    with np.load(path) as data:
+        configs = json.loads(bytes(data["__config__"].tolist()).decode("utf-8"))
+        net = Sequential([_layer_from_config(c) for c in configs])
+        for i, layer in enumerate(net.layers):
+            for j, p in enumerate(layer.params):
+                saved = data[f"param_{i}_{j}"]
+                if saved.shape != p.shape:
+                    raise ValueError(
+                        f"weight shape mismatch at layer {i}: saved "
+                        f"{saved.shape}, built {p.shape}"
+                    )
+                p[...] = saved
+            if isinstance(layer, BatchNorm1d):
+                for j, s in enumerate(layer.state_arrays):
+                    s[...] = data[f"state_{i}_{j}"]
+    return net

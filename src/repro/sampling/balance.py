@@ -1,0 +1,76 @@
+"""Binary class balancing = undersample majority + SMOTE minority."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.smote import smote_oversample
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_2d, check_consistent_length
+
+__all__ = ["random_undersample", "balance_binary"]
+
+
+def random_undersample(
+    idx: np.ndarray,
+    n_keep: int,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample ``n_keep`` of the given indices without replacement."""
+    idx = np.asarray(idx)
+    if n_keep < 0:
+        raise ValueError("n_keep must be non-negative")
+    if n_keep >= len(idx):
+        return idx.copy()
+    rng = default_rng(seed)
+    return rng.choice(idx, size=n_keep, replace=False)
+
+
+def balance_binary(
+    X: np.ndarray,
+    y: np.ndarray,
+    target_ratio: float = 1.0,
+    k_neighbors: int = 5,
+    undersample_majority_to: float = 2.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rebalance a binary dataset toward ``minority ≈ target_ratio × majority``.
+
+    The paper's recipe: first the majority class is randomly undersampled to
+    ``undersample_majority_to ×`` the minority count, then SMOTE fills the
+    remaining gap with synthetic minority samples.  Returns a shuffled
+    ``(X_bal, y_bal)``.
+
+    ``y`` must be 0/1.  With a single class the input is returned unchanged.
+    """
+    X = check_2d(X, "X")
+    y = np.asarray(y).astype(np.int64).ravel()
+    check_consistent_length(X, y)
+    if not np.all(np.isin(y, (0, 1))):
+        raise ValueError("y must be binary 0/1")
+    if not 0.0 < target_ratio <= 1.0:
+        raise ValueError("target_ratio must be in (0, 1]")
+    if undersample_majority_to < 1.0:
+        raise ValueError("undersample_majority_to must be >= 1")
+    rng = default_rng(seed)
+    idx0 = np.flatnonzero(y == 0)
+    idx1 = np.flatnonzero(y == 1)
+    if len(idx0) == 0 or len(idx1) == 0:
+        return X, y.astype(np.float64)
+    minority, majority = (idx0, idx1) if len(idx0) < len(idx1) else (idx1, idx0)
+
+    keep_major = random_undersample(
+        majority, int(undersample_majority_to * len(minority)), seed=rng
+    )
+    want_minor = int(target_ratio * len(keep_major))
+    n_syn = max(0, want_minor - len(minority))
+    parts_X = [X[keep_major], X[minority]]
+    parts_y = [y[keep_major], y[minority]]
+    if n_syn > 0 and len(minority) >= 2:
+        syn = smote_oversample(X[minority], n_syn, k_neighbors=k_neighbors, seed=rng)
+        parts_X.append(syn)
+        parts_y.append(np.full(n_syn, y[minority[0]]))
+    Xb = np.concatenate(parts_X)
+    yb = np.concatenate(parts_y).astype(np.float64)
+    perm = rng.permutation(len(Xb))
+    return Xb[perm], yb[perm]

@@ -1,0 +1,58 @@
+"""SMOTE: Synthetic Minority Over-sampling TEchnique (Chawla et al. 2002).
+
+Each synthetic sample interpolates a minority point toward one of its k
+nearest minority neighbours at a uniform random fraction — populating the
+minority manifold rather than duplicating points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.utils.rng import default_rng
+from repro.utils.validation import check_2d
+
+__all__ = ["smote_oversample"]
+
+
+def smote_oversample(
+    X_minority: np.ndarray,
+    n_synthetic: int,
+    k_neighbors: int = 5,
+    seed: int | np.random.Generator | None = None,
+) -> np.ndarray:
+    """Generate ``n_synthetic`` synthetic minority samples.
+
+    Parameters
+    ----------
+    X_minority:
+        Minority-class sample matrix (≥ 2 rows).
+    n_synthetic:
+        Number of synthetic rows to create (0 returns an empty matrix).
+    k_neighbors:
+        Neighbourhood size; clipped to ``len(X_minority) − 1``.
+
+    Returns
+    -------
+    (n_synthetic, n_features) array of interpolated samples.
+    """
+    X_minority = check_2d(X_minority, "X_minority")
+    if n_synthetic < 0:
+        raise ValueError("n_synthetic must be non-negative")
+    if n_synthetic == 0:
+        return np.zeros((0, X_minority.shape[1]))
+    if len(X_minority) < 2:
+        raise ValueError("SMOTE needs at least two minority samples")
+    rng = default_rng(seed)
+    k = min(k_neighbors, len(X_minority) - 1)
+    tree = cKDTree(X_minority)
+    # k+1 because each point is its own nearest neighbour.
+    _, neigh = tree.query(X_minority, k=k + 1)
+    neigh = neigh[:, 1:]  # drop self
+
+    base = rng.integers(0, len(X_minority), size=n_synthetic)
+    pick = rng.integers(0, k, size=n_synthetic)
+    partner = neigh[base, pick]
+    gap = rng.random((n_synthetic, 1))
+    return X_minority[base] + gap * (X_minority[partner] - X_minority[base])

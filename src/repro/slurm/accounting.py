@@ -1,0 +1,68 @@
+"""sacct-style accounting output.
+
+The paper's raw material is Slurm's historical job accounting; this module
+renders a :class:`~repro.data.schema.JobSet` in a pipe-separated layout
+recognisable to anyone who has run ``sacct -P`` — useful for eyeballing
+simulated traces and for the CLI's ``trout stats`` output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.data.schema import JobSet, JobState
+
+__all__ = ["sacct_lines", "format_sacct"]
+
+_FIELDS = (
+    "JobID|User|Partition|State|Submit|Eligible|Start|End|ReqCPUS|ReqMem|ReqNodes|Timelimit|Priority"
+)
+
+
+def _fmt_minutes(minutes: float) -> str:
+    """Render minutes as D-HH:MM:SS like Slurm."""
+    total_s = int(round(minutes * 60))
+    days, rem = divmod(total_s, 86400)
+    hours, rem = divmod(rem, 3600)
+    mins, secs = divmod(rem, 60)
+    if days:
+        return f"{days}-{hours:02d}:{mins:02d}:{secs:02d}"
+    return f"{hours:02d}:{mins:02d}:{secs:02d}"
+
+
+def sacct_lines(jobs: JobSet, limit: int | None = None) -> Iterable[str]:
+    """Yield header + one pipe-separated line per job."""
+    yield _FIELDS
+    rec = jobs.records
+    n = len(jobs) if limit is None else min(limit, len(jobs))
+    names = jobs.partition_names
+    for i in range(n):
+        part = (
+            names[int(rec["partition"][i])]
+            if names and 0 <= int(rec["partition"][i]) < len(names)
+            else str(int(rec["partition"][i]))
+        )
+        yield "|".join(
+            [
+                str(int(rec["job_id"][i])),
+                f"u{int(rec['user_id'][i])}",
+                part,
+                JobState(int(rec["state"][i])).name,
+                f"{rec['submit_time'][i]:.0f}",
+                f"{rec['eligible_time'][i]:.0f}",
+                f"{rec['start_time'][i]:.0f}",
+                f"{rec['end_time'][i]:.0f}",
+                str(int(rec["req_cpus"][i])),
+                f"{rec['req_mem_gb'][i]:.1f}G",
+                str(int(rec["req_nodes"][i])),
+                _fmt_minutes(float(rec["timelimit_min"][i])),
+                f"{rec['priority'][i]:.0f}",
+            ]
+        )
+
+
+def format_sacct(jobs: JobSet, limit: int | None = 20) -> str:
+    """Join :func:`sacct_lines` into one printable block."""
+    return "\n".join(sacct_lines(jobs, limit))

@@ -1,0 +1,119 @@
+"""The Anvil-shaped cluster used throughout the reproduction.
+
+Anvil (Purdue, NSF ACCESS) is ~1000 CPU nodes of 128 cores / 256 GB, a
+32-node 1 TB high-memory tier and 16 GPU nodes with 4×A100.  The paper uses
+the seven user-facing partitions; the CPU partitions share nodes while the
+GPU partition is isolated.  The shapes here follow the public system
+description (scaled by ``scale`` so tests can run a miniature Anvil with the
+same proportions).
+"""
+
+from __future__ import annotations
+
+from repro.slurm.resources import Cluster, NodePool, Partition
+
+__all__ = ["anvil_cluster", "ANVIL_PARTITIONS"]
+
+#: The seven user-facing partitions of the paper's dataset.
+ANVIL_PARTITIONS: tuple[str, ...] = (
+    "shared",
+    "wholenode",
+    "wide",
+    "standard",
+    "highmem",
+    "debug",
+    "gpu",
+)
+
+
+def anvil_cluster(scale: float = 1.0) -> Cluster:
+    """Build an Anvil-shaped :class:`~repro.slurm.resources.Cluster`.
+
+    Parameters
+    ----------
+    scale:
+        Multiplier on node counts (≥ small floor per pool).  ``scale=1``
+        approximates the real machine; tests use e.g. ``scale=0.05``.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+
+    def n(base: int, floor: int = 2) -> int:
+        return max(floor, int(round(base * scale)))
+
+    pools = [
+        NodePool("cpu", n_nodes=n(1000, 8), cpus_per_node=128, mem_gb_per_node=256.0),
+        NodePool(
+            "highmem", n_nodes=n(32, 2), cpus_per_node=128, mem_gb_per_node=1024.0
+        ),
+        NodePool(
+            "gpu",
+            n_nodes=n(16, 2),
+            cpus_per_node=128,
+            mem_gb_per_node=512.0,
+            gpus_per_node=4,
+        ),
+    ]
+    partitions = [
+        # Anvil's default partition; sub-node jobs share nodes.
+        Partition(
+            "shared",
+            pool="cpu",
+            priority_tier=1.0,
+            exclusive=False,
+            max_nodes=1,
+            max_timelimit_min=96 * 60.0,
+        ),
+        # Node-exclusive production partitions of increasing width.
+        Partition(
+            "wholenode",
+            pool="cpu",
+            priority_tier=1.0,
+            exclusive=True,
+            max_nodes=16,
+            max_timelimit_min=96 * 60.0,
+        ),
+        Partition(
+            "wide",
+            pool="cpu",
+            priority_tier=1.0,
+            exclusive=True,
+            max_nodes=56,
+            max_timelimit_min=12 * 60.0,
+        ),
+        Partition(
+            "standard",
+            pool="cpu",
+            priority_tier=1.0,
+            exclusive=False,
+            max_nodes=16,
+            max_timelimit_min=96 * 60.0,
+        ),
+        Partition(
+            "highmem",
+            pool="highmem",
+            priority_tier=1.0,
+            exclusive=False,
+            max_nodes=1,
+            max_timelimit_min=48 * 60.0,
+        ),
+        # Short-turnaround debug partition gets a higher tier, as on the
+        # real system, so its small jobs jump the queue.
+        Partition(
+            "debug",
+            pool="cpu",
+            priority_tier=3.0,
+            exclusive=False,
+            max_nodes=2,
+            max_timelimit_min=2 * 60.0,
+        ),
+        Partition(
+            "gpu",
+            pool="gpu",
+            priority_tier=1.0,
+            exclusive=False,
+            max_nodes=2,
+            max_timelimit_min=48 * 60.0,
+        ),
+    ]
+    return Cluster("anvil", pools, partitions)

@@ -1,0 +1,157 @@
+"""Per-node placement ledger.
+
+The default simulator tracks free resources per *pool* (aggregate), which
+is fast and adequate for queue-time dynamics.  Real schedulers place jobs
+on nodes, and fragmentation matters: a pool with 64 free CPUs spread one
+per node cannot host a 64-CPU single-node job.  :class:`NodeLedger`
+provides that granularity — exclusive jobs need whole free nodes,
+non-exclusive jobs need a per-node share of CPUs/memory/GPUs on each of
+``req_nodes`` nodes — and plugs into the simulator behind
+``Simulator(..., node_level=True)``.
+
+Placement is best-fit decreasing-ish: candidate nodes are chosen
+most-loaded-first so small jobs pack onto busy nodes and whole nodes stay
+free for exclusive work (the standard anti-fragmentation heuristic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.slurm.resources import NodePool
+
+__all__ = ["NodeLedger", "Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Resources taken on specific nodes (parallel arrays)."""
+
+    node_ids: np.ndarray  # intp
+    cpus: np.ndarray  # float64 per node
+    mem: np.ndarray
+    gpus: np.ndarray
+
+
+def _split(total: float, k: int, integral: bool) -> np.ndarray:
+    """Split ``total`` across ``k`` slots, near-equal, exactly summing."""
+    if integral:
+        base = int(total) // k
+        rem = int(total) - base * k
+        out = np.full(k, float(base))
+        out[:rem] += 1.0
+        return out
+    return np.full(k, total / k)
+
+
+class NodeLedger:
+    """Free CPUs/memory/GPUs per node of one pool."""
+
+    def __init__(self, pool: NodePool) -> None:
+        n = pool.n_nodes
+        self.cpus_cap = float(pool.cpus_per_node)
+        self.mem_cap = float(pool.mem_gb_per_node)
+        self.gpus_cap = float(pool.gpus_per_node)
+        self.free_cpus = np.full(n, self.cpus_cap)
+        self.free_mem = np.full(n, self.mem_cap)
+        self.free_gpus = np.full(n, self.gpus_cap)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.free_cpus)
+
+    def _node_fully_free(self) -> np.ndarray:
+        return (
+            (self.free_cpus >= self.cpus_cap - 1e-9)
+            & (self.free_mem >= self.mem_cap - 1e-9)
+            & (self.free_gpus >= self.gpus_cap - 1e-9)
+        )
+
+    def _candidates(
+        self, cpus_per: np.ndarray, mem_per: np.ndarray, gpus_per: np.ndarray
+    ) -> np.ndarray:
+        """Nodes able to host the *largest* per-node share, most-loaded
+        first (equal shares make the max share sufficient)."""
+        need_c, need_m, need_g = cpus_per.max(), mem_per.max(), gpus_per.max()
+        ok = (
+            (self.free_cpus >= need_c - 1e-9)
+            & (self.free_mem >= need_m - 1e-9)
+            & (self.free_gpus >= need_g - 1e-9)
+        )
+        idx = np.flatnonzero(ok)
+        # Most-loaded (least free CPUs) first.
+        return idx[np.argsort(self.free_cpus[idx], kind="stable")]
+
+    def can_place(
+        self,
+        req_cpus: float,
+        req_mem: float,
+        req_gpus: float,
+        req_nodes: int,
+        exclusive: bool,
+    ) -> bool:
+        """Is there a feasible placement right now?"""
+        return self._plan(req_cpus, req_mem, req_gpus, req_nodes, exclusive) is not None
+
+    def _plan(
+        self, req_cpus: float, req_mem: float, req_gpus: float, req_nodes: int, exclusive: bool
+    ) -> Allocation | None:
+        k = max(int(req_nodes), 1)
+        if k > self.n_nodes:
+            return None
+        if exclusive:
+            free = np.flatnonzero(self._node_fully_free())
+            if len(free) < k:
+                return None
+            chosen = free[:k]
+            return Allocation(
+                node_ids=chosen,
+                cpus=np.full(k, self.cpus_cap),
+                mem=np.full(k, self.mem_cap),
+                gpus=np.full(k, self.gpus_cap),
+            )
+        cpus_per = _split(req_cpus, k, integral=True)
+        mem_per = _split(req_mem, k, integral=False)
+        gpus_per = _split(req_gpus, k, integral=True)
+        cands = self._candidates(cpus_per, mem_per, gpus_per)
+        if len(cands) < k:
+            return None
+        chosen = cands[:k]
+        return Allocation(chosen, cpus_per, mem_per, gpus_per)
+
+    def place(
+        self,
+        req_cpus: float,
+        req_mem: float,
+        req_gpus: float,
+        req_nodes: int,
+        exclusive: bool,
+    ) -> Allocation:
+        """Commit a placement; raises if infeasible."""
+        alloc = self._plan(req_cpus, req_mem, req_gpus, req_nodes, exclusive)
+        if alloc is None:
+            raise RuntimeError("no feasible node placement (check can_place first)")
+        self.free_cpus[alloc.node_ids] -= alloc.cpus
+        self.free_mem[alloc.node_ids] -= alloc.mem
+        self.free_gpus[alloc.node_ids] -= alloc.gpus
+        if (
+            self.free_cpus.min() < -1e-6
+            or self.free_mem.min() < -1e-6
+            or self.free_gpus.min() < -1e-6
+        ):
+            raise RuntimeError("node over-allocated — placement invariant broken")
+        return alloc
+
+    def release(self, alloc: Allocation) -> None:
+        """Return an allocation's resources."""
+        self.free_cpus[alloc.node_ids] += alloc.cpus
+        self.free_mem[alloc.node_ids] += alloc.mem
+        self.free_gpus[alloc.node_ids] += alloc.gpus
+        if (
+            self.free_cpus.max() > self.cpus_cap + 1e-6
+            or self.free_mem.max() > self.mem_cap + 1e-6
+            or self.free_gpus.max() > self.gpus_cap + 1e-6
+        ):
+            raise RuntimeError("double release — node ledger corrupted")

@@ -1,0 +1,250 @@
+"""Priority scheduling with EASY backfill.
+
+One scheduling pass orders a pool's pending jobs by multifactor priority
+(ties broken by eligibility time then job id, Slurm's documented order),
+starts jobs until the head of the queue no longer fits, computes that head
+job's *shadow time* (when enough running jobs will have released resources
+for it) and then lets lower-priority jobs backfill — either because they
+will finish before the shadow time, or because they fit inside the spare
+("extra") resources the reservation does not need.  This is the classic
+EASY algorithm at aggregate-resource granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.slurm.nodes import Allocation, NodeLedger
+from repro.slurm.priority import MultifactorPriority
+
+__all__ = ["PoolLedger", "BackfillScheduler"]
+
+
+@dataclass
+class PoolLedger:
+    """Free aggregate resources of one node pool.
+
+    With a :class:`~repro.slurm.nodes.NodeLedger` attached, fit checks and
+    allocations are additionally node-exact: a job starts only when a
+    concrete per-node placement exists (fragmentation-aware mode).  Shadow
+    and "extra" reasoning in the backfill pass stays aggregate — the
+    classic EASY approximation.
+    """
+
+    free_cpus: float
+    free_mem: float
+    free_gpus: float
+    nodes: NodeLedger | None = None
+    _allocations: dict[int, Allocation] = field(default_factory=dict, repr=False)
+
+    def fits(self, cpus: float, mem: float, gpus: float) -> bool:
+        return (
+            cpus <= self.free_cpus + 1e-9
+            and mem <= self.free_mem + 1e-9
+            and gpus <= self.free_gpus + 1e-9
+        )
+
+    def fits_job(
+        self,
+        cpus: float,
+        mem: float,
+        gpus: float,
+        req_nodes: int,
+        exclusive: bool,
+    ) -> bool:
+        """Aggregate fit plus (in node-level mode) a feasible placement."""
+        if not self.fits(cpus, mem, gpus):
+            return False
+        if self.nodes is not None:
+            return self.nodes.can_place(cpus, mem, gpus, req_nodes, exclusive)
+        return True
+
+    def allocate(self, cpus: float, mem: float, gpus: float) -> None:
+        self.free_cpus -= cpus
+        self.free_mem -= mem
+        self.free_gpus -= gpus
+        if self.free_cpus < -1e-6 or self.free_mem < -1e-6 or self.free_gpus < -1e-6:
+            raise RuntimeError("pool over-allocated — scheduler invariant broken")
+
+    def allocate_job(
+        self,
+        job: int,
+        cpus: float,
+        mem: float,
+        gpus: float,
+        req_nodes: int,
+        exclusive: bool,
+    ) -> None:
+        """Allocate for a specific job, recording its node placement."""
+        self.allocate(cpus, mem, gpus)
+        if self.nodes is not None:
+            self._allocations[job] = self.nodes.place(
+                cpus, mem, gpus, req_nodes, exclusive
+            )
+
+    def release(self, cpus: float, mem: float, gpus: float) -> None:
+        self.free_cpus += cpus
+        self.free_mem += mem
+        self.free_gpus += gpus
+
+    def release_job(self, job: int, cpus: float, mem: float, gpus: float) -> None:
+        """Release a job's aggregate share and its node placement."""
+        self.release(cpus, mem, gpus)
+        if self.nodes is not None:
+            self.nodes.release(self._allocations.pop(job))
+
+
+class BackfillScheduler:
+    """EASY backfill over the pending queue of one pool.
+
+    Parameters
+    ----------
+    priority_engine:
+        Multifactor priority evaluator shared with the simulator.
+    backfill_depth:
+        How many jobs past the blocked head are considered for backfill per
+        pass (Slurm's ``bf_max_job_test`` analogue; bounds pass cost).
+    """
+
+    def __init__(
+        self,
+        priority_engine: MultifactorPriority,
+        backfill_depth: int = 100,
+        exclusive_by_partition: np.ndarray | None = None,
+    ) -> None:
+        self.priority = priority_engine
+        self.backfill_depth = backfill_depth
+        #: Per-partition whole-node flags (used in node-level mode).
+        self.exclusive_by_partition = exclusive_by_partition
+        #: Index of the job that blocked at the head of the queue on the
+        #: most recent pass (None when everything started).  The simulator
+        #: uses this for preemption decisions.
+        self.last_blocked: int | None = None
+
+    def _is_exclusive(self, jobs: np.ndarray, j: int) -> bool:
+        if self.exclusive_by_partition is None:
+            return False
+        return bool(self.exclusive_by_partition[int(jobs["partition"][j])])
+
+    def run_pass(
+        self,
+        t: float,
+        jobs: np.ndarray,
+        pending: list[int],
+        running: list[int],
+        ledger: PoolLedger,
+    ) -> list[int]:
+        """Start every job that can start at time ``t``; return their indices.
+
+        ``jobs`` is the submission record array; ``pending`` / ``running``
+        are index lists for this pool.  Started jobs are removed from
+        ``pending`` and resources allocated in ``ledger``; the caller sets
+        start times, pushes end events and updates ``running``.
+        """
+        self.last_blocked = None
+        if not pending:
+            return []
+        idx = np.asarray(pending, dtype=np.intp)
+        prio = self.priority.compute(
+            t,
+            eligible_time=jobs["eligible_time"][idx],
+            user_ids=jobs["user_id"][idx],
+            partitions=jobs["partition"][idx],
+            req_cpus=jobs["req_cpus"][idx].astype(np.float64),
+            qos=jobs["qos"][idx],
+        )
+        # Slurm order: priority desc, then eligibility asc, then job id asc.
+        order = np.lexsort((jobs["job_id"][idx], jobs["eligible_time"][idx], -prio))
+        ordered = idx[order]
+
+        started: list[int] = []
+        blocked: int | None = None
+        shadow_time = np.inf
+        extra = np.array([np.inf, np.inf, np.inf])
+        scanned_past_block = 0
+
+        for j in ordered:
+            cpus = float(jobs["req_cpus"][j])
+            mem = float(jobs["req_mem_gb"][j])
+            gpus = float(jobs["req_gpus"][j])
+            req_nodes = int(jobs["req_nodes"][j])
+            exclusive = self._is_exclusive(jobs, j)
+            fits = ledger.fits_job(cpus, mem, gpus, req_nodes, exclusive)
+
+            if blocked is None:
+                if fits:
+                    ledger.allocate_job(int(j), cpus, mem, gpus, req_nodes, exclusive)
+                    started.append(int(j))
+                    continue
+                blocked = int(j)
+                self.last_blocked = blocked
+                shadow_time, extra = self._shadow(
+                    t, jobs, running, ledger, cpus, mem, gpus
+                )
+                continue
+
+            # Backfill region: bounded scan below the blocked head.
+            scanned_past_block += 1
+            if scanned_past_block > self.backfill_depth:
+                break
+            if not fits:
+                continue
+            expected_end = t + float(jobs["timelimit_min"][j]) * 60.0
+            req = np.array([cpus, mem, gpus])
+            if expected_end <= shadow_time + 1e-9:
+                # Finishes before the reservation needs its resources.
+                ledger.allocate_job(int(j), cpus, mem, gpus, req_nodes, exclusive)
+                started.append(int(j))
+            elif np.all(req <= extra + 1e-9):
+                # Fits in resources the reservation will not need.
+                ledger.allocate_job(int(j), cpus, mem, gpus, req_nodes, exclusive)
+                extra = extra - req
+                started.append(int(j))
+
+        for j in started:
+            pending.remove(j)
+        return started
+
+    def _shadow(
+        self,
+        t: float,
+        jobs: np.ndarray,
+        running: list[int],
+        ledger: PoolLedger,
+        need_cpus: float,
+        need_mem: float,
+        need_gpus: float,
+    ) -> tuple[float, np.ndarray]:
+        """Reservation for the blocked head job.
+
+        Walk running jobs in expected-completion order (start + timelimit —
+        the scheduler cannot see actual runtimes), accumulating released
+        resources until the head job fits.  Returns ``(shadow_time,
+        extra)`` where ``extra`` is what remains free at the shadow time
+        beyond the head job's needs.  If the head can never fit (should not
+        happen for validated requests), the shadow is ``inf`` and everything
+        currently free is backfillable.
+        """
+        free = np.array([ledger.free_cpus, ledger.free_mem, ledger.free_gpus])
+        need = np.array([need_cpus, need_mem, need_gpus])
+        if not running:
+            return np.inf, free.copy()
+        ridx = np.asarray(running, dtype=np.intp)
+        expected_end = jobs["start_time"][ridx] + jobs["timelimit_min"][ridx] * 60.0
+        expected_end = np.maximum(expected_end, t)  # overrunning jobs end "now"
+        order = np.argsort(expected_end, kind="stable")
+        avail = free.copy()
+        for k in order:
+            j = ridx[k]
+            avail += np.array(
+                [
+                    float(jobs["req_cpus"][j]),
+                    float(jobs["req_mem_gb"][j]),
+                    float(jobs["req_gpus"][j]),
+                ]
+            )
+            if np.all(need <= avail + 1e-9):
+                return float(expected_end[k]), avail - need
+        return np.inf, free.copy()

@@ -1,0 +1,431 @@
+"""Event-driven cluster simulation.
+
+Feed a submission table (what users asked for and when) through the
+multifactor-priority + EASY-backfill scheduler over a
+:class:`~repro.slurm.resources.Cluster`; queue times come out the other
+side.  The result converts to a :class:`~repro.data.schema.JobSet`
+accounting trace identical in shape to what the paper extracted from
+Slurm's ``sacct``.
+
+The event loop is a binary heap of (time, seq, kind, job) tuples with two
+event kinds — a job becoming *eligible* and a job *ending* — and a
+scheduling pass over each affected pool after every batch of simultaneous
+events.  Job attributes live in one structured array so scheduling passes
+are vectorised gathers, not object traversals.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.schema import JOB_DTYPE, JobSet, JobState
+from repro.slurm.fairshare import FairShareTracker
+from repro.slurm.nodes import NodeLedger
+from repro.slurm.priority import MultifactorPriority, PriorityWeights
+from repro.slurm.resources import Cluster
+from repro.slurm.scheduler import BackfillScheduler, PoolLedger
+from repro.utils.logging import get_logger
+
+__all__ = ["SUBMISSION_DTYPE", "Simulator", "SimulationResult"]
+
+log = get_logger(__name__)
+
+#: What a user hands the scheduler, one record per job.  ``runtime_min`` is
+#: the job's *actual* runtime (known to the workload generator, invisible to
+#: the scheduler until the job ends); ``fail`` marks jobs that die early.
+SUBMISSION_DTYPE = np.dtype(
+    [
+        ("job_id", np.int64),
+        ("user_id", np.int32),
+        ("partition", np.int16),
+        ("qos", np.int8),
+        ("submit_time", np.float64),
+        ("eligible_time", np.float64),
+        ("req_cpus", np.int32),
+        ("req_mem_gb", np.float64),
+        ("req_nodes", np.int32),
+        ("req_gpus", np.int32),
+        ("timelimit_min", np.float64),
+        ("runtime_min", np.float64),
+        ("fail", np.int8),
+    ]
+)
+
+_SIM_DTYPE = np.dtype(SUBMISSION_DTYPE.descr + [("start_time", np.float64), ("end_time", np.float64)])
+
+_EV_ELIGIBLE = 0
+_EV_END = 1
+_EV_RELEASE = 2  # a requeue hold expired; re-run the pool's scheduler
+
+
+@dataclass(frozen=True)
+class PreemptionPolicy:
+    """QOS-based requeue preemption (Slurm ``PreemptMode=REQUEUE``).
+
+    The Slurm docs the paper quotes put "jobs that can preempt" first in
+    evaluation order.  Under this policy, a blocked queue-head job whose
+    QOS is at least ``min_preemptor_qos`` may evict running jobs of
+    strictly lower QOS (most recently started first) until it fits; the
+    victims are requeued and restart from scratch (their partial run is
+    still charged to fair-share).
+    """
+
+    min_preemptor_qos: int = 2
+    max_victims_per_pass: int = 32
+    #: Seconds a requeued victim is held out of scheduling.  Matches
+    #: Slurm's requeue-then-re-pend behaviour and, crucially, prevents the
+    #: evict/backfill livelock where a victim re-enters the gap it just
+    #: vacated within the same scheduling instant.
+    requeue_hold_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.min_preemptor_qos < 1:
+            raise ValueError("min_preemptor_qos must be >= 1")
+        if self.max_victims_per_pass < 1:
+            raise ValueError("max_victims_per_pass must be >= 1")
+        if self.requeue_hold_s <= 0:
+            raise ValueError("requeue_hold_s must be positive")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulation run."""
+
+    jobs: JobSet  # accounting trace, eligibility-ordered
+    priorities_at_eligibility: np.ndarray  # parallel to ``jobs``
+    n_scheduler_passes: int
+    makespan_s: float
+    n_preemptions: int = 0
+
+    @property
+    def queue_time_min(self) -> np.ndarray:
+        return self.jobs.queue_time_min
+
+
+class Simulator:
+    """Run a submission table through the scheduler.
+
+    Parameters
+    ----------
+    cluster:
+        Machine shape (see :func:`repro.slurm.anvil.anvil_cluster`).
+    n_users:
+        Size of the user-id space for the fair-share tracker.
+    weights:
+        Multifactor priority weights.
+    backfill_depth:
+        Per-pass backfill scan bound.
+    fairshare_half_life_s:
+        Usage decay half-life.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        n_users: int,
+        weights: PriorityWeights | None = None,
+        backfill_depth: int = 100,
+        fairshare_half_life_s: float = 14 * 24 * 3600.0,
+        preemption: "PreemptionPolicy | None" = None,
+        node_level: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.fairshare = FairShareTracker(n_users, half_life_s=fairshare_half_life_s)
+        self.priority = MultifactorPriority(cluster, self.fairshare, weights)
+        exclusive = np.array(
+            [p.exclusive for p in cluster.partitions], dtype=bool
+        )
+        self.scheduler = BackfillScheduler(
+            self.priority, backfill_depth, exclusive_by_partition=exclusive
+        )
+        self.preemption = preemption
+        #: Fragmentation-aware per-node placement (see repro.slurm.nodes).
+        self.node_level = node_level
+
+    # ------------------------------------------------------------------ #
+    def run(self, submissions: np.ndarray) -> SimulationResult:
+        """Simulate to completion and return the accounting trace.
+
+        ``submissions`` must use :data:`SUBMISSION_DTYPE`.  Every job
+        eventually starts (requests are validated as satisfiable up front);
+        the simulation drains all events.
+        """
+        submissions = np.asarray(submissions)
+        if submissions.dtype != SUBMISSION_DTYPE:
+            raise TypeError(
+                f"submissions must use SUBMISSION_DTYPE, got {submissions.dtype}"
+            )
+        n = len(submissions)
+        jobs = np.zeros(n, dtype=_SIM_DTYPE)
+        for name in SUBMISSION_DTYPE.names:
+            jobs[name] = submissions[name]
+        jobs["start_time"] = -1.0
+        jobs["end_time"] = -1.0
+        self._validate(jobs)
+
+        part_pool = self.cluster.partition_pool_ids()
+        pool_of_job = part_pool[jobs["partition"].astype(np.intp)]
+        ledgers = [
+            PoolLedger(
+                pool.total_cpus,
+                pool.total_mem_gb,
+                pool.total_gpus,
+                nodes=NodeLedger(pool) if self.node_level else None,
+            )
+            for pool in self.cluster.pools
+        ]
+        pending: list[list[int]] = [[] for _ in self.cluster.pools]
+        running: list[list[int]] = [[] for _ in self.cluster.pools]
+        prio_at_elig = np.zeros(n, dtype=np.float64)
+
+        # END events carry the job's attempt number so a preempted job's
+        # stale completion is ignored (the requeue bumps the attempt).
+        attempt = np.zeros(n, dtype=np.int32)
+        # Requeued victims are held until this time before rescheduling.
+        hold_until = np.zeros(n, dtype=np.float64)
+        n_preemptions = 0
+
+        heap: list[tuple[float, int, int, int, int]] = []
+        seq = 0
+        for j in np.argsort(jobs["eligible_time"], kind="stable"):
+            heap.append(
+                (float(jobs["eligible_time"][j]), seq, _EV_ELIGIBLE, int(j), 0)
+            )
+            seq += 1
+        heapq.heapify(heap)
+
+        n_passes = 0
+        t = 0.0
+        while heap:
+            t = heap[0][0]
+            dirty: set[int] = set()
+            newly_eligible: list[int] = []
+            # Drain all events at this timestamp before scheduling.
+            while heap and heap[0][0] <= t + 1e-9:
+                _, _, kind, j, ev_attempt = heapq.heappop(heap)
+                pool = int(pool_of_job[j])
+                if kind == _EV_ELIGIBLE:
+                    pending[pool].append(j)
+                    newly_eligible.append(j)
+                elif kind == _EV_RELEASE:
+                    pass  # hold expired: just mark the pool dirty below
+                else:  # _EV_END
+                    if ev_attempt != attempt[j]:
+                        continue  # stale: the job was preempted mid-run
+                    running[pool].remove(j)
+                    ledgers[pool].release_job(
+                        int(j),
+                        float(jobs["req_cpus"][j]),
+                        float(jobs["req_mem_gb"][j]),
+                        float(jobs["req_gpus"][j]),
+                    )
+                    run_s = jobs["end_time"][j] - jobs["start_time"][j]
+                    self.fairshare.add_usage(
+                        int(jobs["user_id"][j]),
+                        float(jobs["req_cpus"][j]) * float(run_s),
+                        t,
+                    )
+                dirty.add(pool)
+
+            if newly_eligible:
+                ne = np.asarray(newly_eligible, dtype=np.intp)
+                prio_at_elig[ne] = self.priority.compute(
+                    t,
+                    eligible_time=jobs["eligible_time"][ne],
+                    user_ids=jobs["user_id"][ne],
+                    partitions=jobs["partition"][ne],
+                    req_cpus=jobs["req_cpus"][ne].astype(np.float64),
+                    qos=jobs["qos"][ne],
+                )
+
+            for pool in dirty:
+                while True:
+                    # Jobs under a requeue hold sit out this pass.
+                    if self.preemption is not None:
+                        ready = [j for j in pending[pool] if hold_until[j] <= t]
+                    else:
+                        ready = pending[pool]
+                    started = self.scheduler.run_pass(
+                        t, jobs, ready, running[pool], ledgers[pool]
+                    )
+                    n_passes += 1
+                    if ready is not pending[pool]:
+                        for j in started:
+                            pending[pool].remove(j)
+                    for j in started:
+                        # Event batching groups times within 1e-9 s; clamp
+                        # so a job never starts before its own eligibility.
+                        start = max(t, float(jobs["eligible_time"][j]))
+                        jobs["start_time"][j] = start
+                        end = start + self._effective_runtime_s(jobs, j)
+                        jobs["end_time"][j] = end
+                        running[pool].append(j)
+                        heapq.heappush(
+                            heap, (float(end), seq, _EV_END, j, int(attempt[j]))
+                        )
+                        seq += 1
+                    evicted = self._maybe_preempt(
+                        t, jobs, pending[pool], running[pool], ledgers[pool], attempt
+                    )
+                    if not evicted:
+                        break
+                    n_preemptions += len(evicted)
+                    release = t + self.preemption.requeue_hold_s
+                    for j in evicted:
+                        hold_until[j] = release
+                    heapq.heappush(
+                        heap, (float(release), seq, _EV_RELEASE, int(evicted[0]), 0)
+                    )
+                    seq += 1
+
+        unstarted = np.flatnonzero(jobs["start_time"] < 0)
+        if len(unstarted):
+            raise RuntimeError(
+                f"{len(unstarted)} jobs never started — first: "
+                f"job_id={int(jobs['job_id'][unstarted[0]])}"
+            )
+        trace = self._to_jobset(jobs, prio_at_elig)
+        order = np.argsort(jobs["eligible_time"], kind="stable")
+        log.info("simulated %d jobs, %d scheduler passes", n, n_passes)
+        return SimulationResult(
+            jobs=trace[order],
+            priorities_at_eligibility=prio_at_elig[order],
+            n_scheduler_passes=n_passes,
+            makespan_s=float(jobs["end_time"].max() if n else 0.0),
+            n_preemptions=n_preemptions,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _maybe_preempt(
+        self,
+        t: float,
+        jobs: np.ndarray,
+        pending: list[int],
+        running: list[int],
+        ledger,
+        attempt: np.ndarray,
+    ) -> list[int]:
+        """Evict lower-QOS running jobs for a blocked preemptor head.
+
+        Returns the requeued victims (empty = nothing to do).  The caller
+        re-runs the scheduling pass afterwards so the head starts into the
+        freed resources, and holds the victims briefly so they cannot
+        backfill straight back into the gap.
+        """
+        policy = self.preemption
+        head = self.scheduler.last_blocked
+        if policy is None or head is None or not running:
+            return []
+        head_qos = int(jobs["qos"][head])
+        if head_qos < policy.min_preemptor_qos:
+            return []
+        victims = [j for j in running if int(jobs["qos"][j]) < head_qos]
+        if not victims:
+            return []
+        # Most recently started first: minimises wasted work.
+        victims.sort(key=lambda j: -float(jobs["start_time"][j]))
+        need = (
+            float(jobs["req_cpus"][head]),
+            float(jobs["req_mem_gb"][head]),
+            float(jobs["req_gpus"][head]),
+        )
+        evicted: list[int] = []
+        for j in victims:
+            if ledger.fits(*need) or len(evicted) >= policy.max_victims_per_pass:
+                break
+            running.remove(j)
+            ledger.release_job(
+                int(j),
+                float(jobs["req_cpus"][j]),
+                float(jobs["req_mem_gb"][j]),
+                float(jobs["req_gpus"][j]),
+            )
+            # Charge the wasted partial run to fair-share; requeue from
+            # scratch with a bumped attempt so the old END event is stale.
+            self.fairshare.add_usage(
+                int(jobs["user_id"][j]),
+                float(jobs["req_cpus"][j]) * max(t - float(jobs["start_time"][j]), 0.0),
+                t,
+            )
+            attempt[j] += 1
+            jobs["start_time"][j] = -1.0
+            jobs["end_time"][j] = -1.0
+            pending.append(j)
+            evicted.append(int(j))
+        # If victims ran out before the head fits, the evictions stand and
+        # the head keeps waiting (Slurm behaves the same under REQUEUE).
+        return evicted
+
+    # ------------------------------------------------------------------ #
+    def _effective_runtime_s(self, jobs: np.ndarray, j: int) -> float:
+        """Actual runtime, clipped to the timelimit (TIMEOUT kills)."""
+        runtime = float(jobs["runtime_min"][j])
+        limit = float(jobs["timelimit_min"][j])
+        return min(runtime, limit) * 60.0
+
+    def _validate(self, jobs: np.ndarray) -> None:
+        """Reject unsatisfiable requests before the event loop starts."""
+        part_pool = self.cluster.partition_pool_ids()
+        pools = self.cluster.pools
+        cap_cpus = np.array([pools[i].total_cpus for i in part_pool])
+        cap_mem = np.array([pools[i].total_mem_gb for i in part_pool])
+        cap_gpus = np.array([pools[i].total_gpus for i in part_pool])
+        p = jobs["partition"].astype(np.intp)
+        bad = (
+            (jobs["req_cpus"] > cap_cpus[p])
+            | (jobs["req_mem_gb"] > cap_mem[p])
+            | (jobs["req_gpus"] > cap_gpus[p])
+            | (jobs["req_cpus"] <= 0)
+            | (jobs["req_nodes"] <= 0)
+            | (jobs["req_mem_gb"] <= 0)
+            | (jobs["timelimit_min"] <= 0)
+            | (jobs["runtime_min"] < 0)
+            | (jobs["eligible_time"] < jobs["submit_time"])
+        )
+        if self.node_level:
+            # Per-node share must fit one node even on an empty pool.
+            cpn = np.array([pools[i].cpus_per_node for i in part_pool])
+            mpn = np.array([pools[i].mem_gb_per_node for i in part_pool])
+            gpn = np.array([pools[i].gpus_per_node for i in part_pool])
+            nn = np.array([pools[i].n_nodes for i in part_pool])
+            k = np.maximum(jobs["req_nodes"], 1).astype(np.float64)
+            bad |= np.ceil(jobs["req_cpus"] / k) > cpn[p]
+            bad |= (jobs["req_mem_gb"] / k) > mpn[p] + 1e-9
+            bad |= np.ceil(jobs["req_gpus"] / k) > gpn[p]
+            bad |= jobs["req_nodes"] > nn[p]
+        if np.any(bad):
+            first = int(np.flatnonzero(bad)[0])
+            raise ValueError(
+                f"unsatisfiable or malformed submission at row {first} "
+                f"(job_id={int(jobs['job_id'][first])})"
+            )
+
+    def _to_jobset(self, jobs: np.ndarray, prio: np.ndarray) -> JobSet:
+        """Convert the simulation array to an accounting JobSet."""
+        n = len(jobs)
+        rec = np.zeros(n, dtype=JOB_DTYPE)
+        for name in (
+            "job_id",
+            "user_id",
+            "partition",
+            "qos",
+            "submit_time",
+            "eligible_time",
+            "start_time",
+            "end_time",
+            "req_cpus",
+            "req_mem_gb",
+            "req_nodes",
+            "timelimit_min",
+        ):
+            rec[name] = jobs[name]
+        rec["priority"] = prio
+        ran_full = jobs["runtime_min"] >= jobs["timelimit_min"]
+        state = np.full(n, int(JobState.COMPLETED), dtype=np.int8)
+        state[ran_full.nonzero()] = int(JobState.TIMEOUT)
+        state[(jobs["fail"] == 1) & ~ran_full] = int(JobState.FAILED)
+        rec["state"] = state
+        return JobSet(rec, self.cluster.partition_names)

@@ -1,0 +1,64 @@
+"""Cluster-utilisation diagnostics from accounting traces.
+
+Reconstructs per-pool CPU occupancy over time from the final start/end
+records — the operator's view of how loaded the simulated machine was, and
+the calibration instrument behind the workload generator's ``load`` knob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import JobSet
+from repro.slurm.resources import Cluster
+
+__all__ = ["pool_utilization", "utilization_summary"]
+
+
+def pool_utilization(
+    jobs: JobSet,
+    cluster: Cluster,
+    pool: int | str,
+) -> dict[str, np.ndarray]:
+    """Step function of one pool's busy CPUs over time.
+
+    Returns ``times`` (event instants, ascending) and ``busy_cpus`` (the
+    occupancy holding from each instant until the next).  Empty for pools
+    with no jobs.
+    """
+    pool_id = cluster.pool_id(pool) if isinstance(pool, str) else int(pool)
+    pool_ids = cluster.partition_pool_ids()
+    rec = jobs.records
+    mask = pool_ids[rec["partition"].astype(np.intp)] == pool_id
+    if not np.any(mask):
+        return {"times": np.zeros(0), "busy_cpus": np.zeros(0)}
+    starts = rec["start_time"][mask]
+    ends = rec["end_time"][mask]
+    cpus = rec["req_cpus"][mask].astype(np.float64)
+    ts = np.concatenate([starts, ends])
+    deltas = np.concatenate([cpus, -cpus])
+    order = np.lexsort((deltas, ts))  # releases before grabs at ties
+    return {"times": ts[order], "busy_cpus": np.cumsum(deltas[order])}
+
+
+def utilization_summary(jobs: JobSet, cluster: Cluster) -> dict[str, dict[str, float]]:
+    """Mean and peak CPU utilisation per pool over the trace's active span.
+
+    The mean is time-weighted over [first start, last end]; values are
+    fractions of pool capacity.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for pool_id, pool in enumerate(cluster.pools):
+        prof = pool_utilization(jobs, cluster, pool_id)
+        times, busy = prof["times"], prof["busy_cpus"]
+        if len(times) < 2:
+            out[pool.name] = {"mean": 0.0, "peak": 0.0}
+            continue
+        dt = np.diff(times)
+        span = times[-1] - times[0]
+        mean_busy = float(np.sum(busy[:-1] * dt) / span) if span > 0 else 0.0
+        out[pool.name] = {
+            "mean": mean_busy / pool.total_cpus,
+            "peak": float(busy.max()) / pool.total_cpus,
+        }
+    return out

@@ -1,0 +1,36 @@
+"""Minimal structured logging for training loops and the simulator.
+
+Uses the stdlib :mod:`logging` with a library-wide namespace so downstream
+applications control verbosity with one handler.  The simulator and training
+pipeline log at DEBUG/INFO; nothing in the library configures root handlers.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the ``repro`` namespace."""
+    if name.startswith(_ROOT):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a simple stderr handler to the library root (idempotent).
+
+    Called by the CLI; library code never calls this.
+    """
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)

@@ -1,0 +1,71 @@
+"""Lightweight timing helpers used by benchmarks and the CLI.
+
+The hpc-parallel guides stress *measure before optimising*; :class:`Timer`
+is the minimal instrument for that: a context manager / stopwatch with
+monotonic clocks and accumulated laps, cheap enough to leave in hot paths
+behind a flag.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, TypeVar
+
+__all__ = ["Timer", "timed"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            work()
+        print(t.elapsed)
+
+    Repeated ``with`` blocks accumulate into :attr:`elapsed` and count laps.
+    """
+
+    elapsed: float = 0.0
+    laps: int = 0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.elapsed += time.perf_counter() - self._t0
+        self.laps += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap count."""
+        self.elapsed = 0.0
+        self.laps = 0
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per lap (0.0 before any lap completes)."""
+        return self.elapsed / self.laps if self.laps else 0.0
+
+
+def timed(fn: F) -> F:
+    """Decorator attaching a ``last_elapsed`` attribute with the wall time
+    of the most recent call.  Used by ablation benchmarks that need the
+    timing *and* the return value in one pass."""
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        t0 = time.perf_counter()
+        out = fn(*args, **kwargs)
+        wrapper.last_elapsed = time.perf_counter() - t0  # type: ignore[attr-defined]
+        return out
+
+    wrapper.last_elapsed = 0.0  # type: ignore[attr-defined]
+    return wrapper  # type: ignore[return-value]

@@ -1,0 +1,164 @@
+"""The trout CLI, exercised through main() in-process."""
+
+import numpy as np
+import pytest
+
+from repro.cli.main import build_parser, main
+from repro.data.swf import read_swf
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Simulate once, train once; individual tests reuse the artefacts."""
+    ws = tmp_path_factory.mktemp("cli")
+    trace = ws / "trace.swf"
+    model = ws / "model"
+    rc = main(
+        ["simulate", "--n-jobs", "4000", "--seed", "11", "--load", "0.5", "--out", str(trace)]
+    )
+    assert rc == 0
+    rc = main(["train", "--trace", str(trace), "--out", str(model), "--seed", "0"])
+    assert rc == 0
+    return trace, model
+
+
+def test_parser_subcommands():
+    p = build_parser()
+    args = p.parse_args(["simulate", "--out", "x.swf"])
+    assert args.command == "simulate"
+    with pytest.raises(SystemExit):
+        p.parse_args([])  # subcommand required
+
+
+def test_simulate_writes_valid_trace(workspace):
+    trace, _ = workspace
+    jobs = read_swf(trace)
+    assert len(jobs) == 4000
+    jobs.validate()
+
+
+def test_stats_prints_table(workspace, capsys):
+    trace, _ = workspace
+    assert main(["stats", "--trace", str(trace), "--head", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "Requested Time (hr)" in out
+    assert "JobID|User|Partition" in out
+
+
+def test_train_creates_model_bundle(workspace):
+    _, model = workspace
+    assert (model / "classifier.npz").exists()
+    assert (model / "regressor.npz").exists()
+    assert (model / "meta.json").exists()
+    assert (model / "runtime_model.pkl").exists()
+
+
+def test_predict_existing_job(workspace, capsys):
+    trace, model = workspace
+    # Warm-up discard means ids don't start at 1; pick one from the trace.
+    job_id = int(read_swf(trace).column("job_id")[100])
+    rc = main(
+        ["predict", "--model", str(model), "--trace", str(trace), "--job-id", str(job_id)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Predicted to" in out
+    assert "actual queue time" in out
+
+
+def test_predict_with_interval_flag(workspace, capsys):
+    trace, model = workspace
+    jobs = read_swf(trace)
+    # Prefer a long-wait job so the interval branch can fire; fall back to
+    # any job (the flag must not crash either way).
+    q = jobs.queue_time_min
+    candidates = np.flatnonzero(q > 10)
+    idx = int(candidates[0]) if len(candidates) else 0
+    job_id = int(jobs.column("job_id")[idx])
+    rc = main(
+        [
+            "predict",
+            "--model", str(model),
+            "--trace", str(trace),
+            "--job-id", str(job_id),
+            "--interval",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Predicted to" in out
+
+
+def test_predict_missing_job(workspace, capsys):
+    trace, model = workspace
+    rc = main(
+        ["predict", "--model", str(model), "--trace", str(trace), "--job-id", "999999"]
+    )
+    assert rc == 1
+    assert "not found" in capsys.readouterr().err
+
+
+def test_hypothetical_job(workspace, capsys):
+    trace, model = workspace
+    rc = main(
+        [
+            "hypothetical",
+            "--model", str(model),
+            "--trace", str(trace),
+            "--partition", "shared",
+            "--cpus", "64",
+            "--timelimit-min", "480",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "hypothetical job" in out
+    assert "Predicted to" in out
+
+
+def test_queue_view(workspace, capsys):
+    trace, model = workspace
+    jobs = read_swf(trace)
+    # Pick an instant where something is pending.
+    q = jobs.queue_time_min
+    waiting = np.flatnonzero(q > 2.0)
+    rec = jobs.records
+    t = float(
+        0.5 * (rec["eligible_time"][waiting[0]] + rec["start_time"][waiting[0]])
+    ) if len(waiting) else float(rec["eligible_time"].max())
+    rc = main(["queue", "--trace", str(trace), "--at", str(t)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "queue state at" in out
+    assert "JOBID" in out
+
+
+def test_queue_view_with_predictions(workspace, capsys):
+    trace, model = workspace
+    jobs = read_swf(trace)
+    q = jobs.queue_time_min
+    waiting = np.flatnonzero(q > 2.0)
+    if not len(waiting):
+        return
+    rec = jobs.records
+    t = float(0.5 * (rec["eligible_time"][waiting[0]] + rec["start_time"][waiting[0]]))
+    rc = main(
+        ["queue", "--trace", str(trace), "--at", str(t), "--model", str(model)]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Predicted to" in out
+
+
+def test_hypothetical_unknown_partition(workspace, capsys):
+    trace, model = workspace
+    rc = main(
+        [
+            "hypothetical",
+            "--model", str(model),
+            "--trace", str(trace),
+            "--partition", "nope",
+        ]
+    )
+    assert rc == 1
+    assert "unknown partition" in capsys.readouterr().err

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+The expensive artefacts — a simulated trace and its feature matrix — are
+session-scoped so the whole suite pays for simulation once.  The trace is
+deliberately small but congested (``load=0.5``) so it contains enough
+long-wait jobs for the model tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.training import build_feature_matrix
+from repro.workload import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """(SimulationResult, Cluster) for a 6k-job congested mini-Anvil."""
+    cfg = WorkloadConfig(n_jobs=15_000, seed=11, load=0.5, cluster_scale=0.05)
+    return generate_trace(cfg)
+
+
+@pytest.fixture(scope="session")
+def trace_jobs(small_trace):
+    """The JobSet of the session trace."""
+    return small_trace[0].jobs
+
+
+@pytest.fixture(scope="session")
+def cluster(small_trace):
+    return small_trace[1]
+
+
+@pytest.fixture(scope="session")
+def feature_matrix(small_trace):
+    """(FeatureMatrix, RuntimePredictor) over the session trace."""
+    result, cluster = small_trace
+    return build_feature_matrix(result.jobs, cluster)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)

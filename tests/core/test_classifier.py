@@ -1,0 +1,73 @@
+"""Quick-start classifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import QuickStartClassifier
+from repro.core.config import ClassifierConfig
+
+
+def _separable(n=3000, skew=0.85, seed=0):
+    """Skewed binary problem with a learnable boundary."""
+    rng = np.random.default_rng(seed)
+    y = (rng.random(n) > skew).astype(float)
+    X = rng.normal(size=(n, 6))
+    X[:, 0] += 3.0 * y
+    X[:, 1] -= 2.0 * y
+    return X, y
+
+
+def _fast_cfg(**kw):
+    base = dict(hidden=(32, 16), epochs=40, patience=8, lr=3e-3)
+    base.update(kw)
+    return ClassifierConfig(**base)
+
+
+def test_learns_skewed_classes_both_ways():
+    X, y = _separable()
+    clf = QuickStartClassifier(6, _fast_cfg(), seed=0).fit(X, y)
+    Xte, yte = _separable(seed=1)
+    pred = clf.predict(Xte)
+    acc = np.mean(pred == yte)
+    assert acc > 0.9
+    # Balanced training: decent accuracy on the MINORITY class too.
+    assert np.mean(pred[yte == 1] == 1) > 0.8
+
+
+def test_predict_proba_range_and_threshold():
+    X, y = _separable(1000)
+    clf = QuickStartClassifier(6, _fast_cfg(), seed=0).fit(X, y)
+    p = clf.predict_proba(X)
+    assert np.all((p >= 0) & (p <= 1))
+    np.testing.assert_array_equal(clf.predict(X), (p >= 0.5).astype(np.int64))
+
+
+def test_threshold_configurable():
+    X, y = _separable(1000)
+    strict = QuickStartClassifier(6, _fast_cfg(threshold=0.9), seed=0).fit(X, y)
+    lax = QuickStartClassifier(6, _fast_cfg(threshold=0.1), seed=0).fit(X, y)
+    assert strict.predict(X).sum() <= lax.predict(X).sum()
+
+
+def test_single_class_rejected():
+    X = np.random.default_rng(0).normal(size=(100, 3))
+    with pytest.raises(ValueError, match="both classes"):
+        QuickStartClassifier(3, _fast_cfg()).fit(X, np.zeros(100))
+
+
+def test_feature_count_checked():
+    X, y = _separable(200)
+    with pytest.raises(ValueError, match="features"):
+        QuickStartClassifier(4, _fast_cfg()).fit(X, y)
+
+
+def test_unfitted_raises():
+    with pytest.raises(RuntimeError):
+        QuickStartClassifier(3).predict(np.zeros((2, 3)))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ClassifierConfig(hidden=())
+    with pytest.raises(ValueError):
+        ClassifierConfig(threshold=0.0)

@@ -1,0 +1,99 @@
+"""TroutModel hierarchy: Algorithm 1 semantics and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import QuickStartClassifier
+from repro.core.config import ClassifierConfig, RegressorConfig
+from repro.core.hierarchical import TroutModel, TroutPrediction
+from repro.core.regressor import QueueTimeRegressor
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    """A small hierarchy trained on synthetic queue-like data."""
+    rng = np.random.default_rng(0)
+    n = 3000
+    X = rng.normal(size=(n, 4))
+    minutes = np.where(
+        X[:, 0] > 0.5,
+        np.exp(3.0 + X[:, 1]),  # long waits
+        rng.uniform(0, 5, n),  # quick starts
+    )
+    y_long = (minutes > 10).astype(float)
+    clf = QuickStartClassifier(
+        4, ClassifierConfig(hidden=(32, 16), epochs=60, patience=10, lr=3e-3), seed=0
+    ).fit(X, y_long)
+    long_rows = minutes > 10
+    reg = QueueTimeRegressor(
+        4, RegressorConfig(hidden=(32, 16), epochs=60, patience=10, lr=3e-3), seed=0
+    ).fit(X[long_rows], minutes[long_rows])
+    model = TroutModel(clf, reg, cutoff_min=10.0, feature_names=("a", "b", "c", "d"))
+    return model, X, minutes
+
+
+def test_algorithm1_messages(fitted_model):
+    model, X, minutes = fitted_model
+    msgs = model.predict_messages(X[:200])
+    assert all(
+        m.startswith("Predicted to start in") or m == "Predicted to take less than 10 minutes"
+        for m in msgs
+    )
+    # Both branches exercised.
+    assert any("less than" in m for m in msgs)
+    assert any("start in" in m for m in msgs)
+
+
+def test_prediction_objects(fitted_model):
+    model, X, _ = fitted_model
+    preds = model.predict(X[:50])
+    for p in preds:
+        assert isinstance(p, TroutPrediction)
+        assert 0 <= p.p_long <= 1
+        if p.long_wait:
+            assert p.minutes is not None and p.minutes >= 0
+        else:
+            assert p.minutes is None
+
+
+def test_predict_minutes_floors(fitted_model):
+    model, X, _ = fitted_model
+    m = model.predict_minutes(X[:500])
+    preds = model.predict(X[:500])
+    for val, p in zip(m, preds):
+        if p.long_wait:
+            assert val >= model.cutoff_min
+        else:
+            assert val == model.cutoff_min / 2
+
+
+def test_hierarchy_correlates_with_truth(fitted_model):
+    model, X, minutes = fitted_model
+    pred = model.predict_minutes(X)
+    r = np.corrcoef(np.log1p(pred), np.log1p(minutes))[0, 1]
+    assert r > 0.7
+
+
+def test_save_load_roundtrip(fitted_model, tmp_path):
+    model, X, _ = fitted_model
+    model.save(tmp_path / "m")
+    loaded = TroutModel.load(tmp_path / "m")
+    assert loaded.cutoff_min == model.cutoff_min
+    assert loaded.feature_names == model.feature_names
+    np.testing.assert_allclose(
+        loaded.predict_minutes(X[:100]), model.predict_minutes(X[:100]), atol=1e-10
+    )
+    assert loaded.predict_messages(X[:5]) == model.predict_messages(X[:5])
+
+
+def test_cutoff_validation(fitted_model):
+    model, _, _ = fitted_model
+    with pytest.raises(ValueError):
+        TroutModel(model.classifier, model.regressor, cutoff_min=0.0, feature_names=())
+
+
+def test_message_formatting():
+    p = TroutPrediction(long_wait=True, minutes=42.4, p_long=0.9)
+    assert p.message(10.0) == "Predicted to start in 42 minutes"
+    q = TroutPrediction(long_wait=False, minutes=None, p_long=0.1)
+    assert q.message(10.0) == "Predicted to take less than 10 minutes"

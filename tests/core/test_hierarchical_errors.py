@@ -1,0 +1,45 @@
+"""TroutModel error paths and metadata integrity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import TroutModel
+
+
+def test_load_missing_directory(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        TroutModel.load(tmp_path / "nope")
+
+
+def test_load_corrupt_meta(tmp_path):
+    d = tmp_path / "m"
+    d.mkdir()
+    (d / "meta.json").write_text("{not json")
+    with pytest.raises(json.JSONDecodeError):
+        TroutModel.load(d)
+
+
+def test_saved_meta_contents(tmp_path, feature_matrix):
+    from repro.core import TroutConfig, train_trout
+    from repro.core.config import ClassifierConfig, RegressorConfig
+
+    fm, _ = feature_matrix
+    cfg = TroutConfig(
+        classifier=ClassifierConfig(hidden=(16, 8), epochs=3, patience=2),
+        regressor=RegressorConfig(hidden=(16, 8), epochs=3, patience=2),
+        seed=0,
+    )
+    out = train_trout(fm, cfg)
+    out.model.save(tmp_path / "m")
+    meta = json.loads((tmp_path / "m" / "meta.json").read_text())
+    assert meta["cutoff_min"] == 10.0
+    assert meta["n_features"] == 33
+    assert len(meta["feature_names"]) == 33
+    assert (tmp_path / "m" / "scalers.npz").exists()
+    # And reload round-trips predictions.
+    loaded = TroutModel.load(tmp_path / "m")
+    np.testing.assert_allclose(
+        loaded.predict_minutes(fm.X[:50]), out.model.predict_minutes(fm.X[:50])
+    )

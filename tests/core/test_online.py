@@ -1,0 +1,120 @@
+"""Online-learning extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import QuickStartClassifier
+from repro.core.config import ClassifierConfig, RegressorConfig
+from repro.core.hierarchical import TroutModel
+from repro.core.online import OnlineConfig, OnlineTrout
+from repro.core.regressor import QueueTimeRegressor
+
+
+def _make_data(n, seed, shift=0.0):
+    """Queue-like data whose regime can be shifted to simulate drift."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    minutes = np.where(
+        X[:, 0] > 0.5 - shift,
+        np.exp(3.0 + X[:, 1] + shift),
+        rng.uniform(0, 5, n),
+    )
+    return X, minutes
+
+
+@pytest.fixture()
+def base_model():
+    X, minutes = _make_data(2500, seed=0)
+    y = (minutes > 10).astype(float)
+    clf = QuickStartClassifier(
+        4, ClassifierConfig(hidden=(24, 12), epochs=30, patience=6, lr=3e-3), seed=0
+    ).fit(X, y)
+    long_rows = minutes > 10
+    reg = QueueTimeRegressor(
+        4, RegressorConfig(hidden=(24, 12), epochs=30, patience=6, lr=3e-3), seed=0
+    ).fit(X[long_rows], minutes[long_rows])
+    return TroutModel(clf, reg, 10.0, ("a", "b", "c", "d"))
+
+
+def test_observe_scores_prequentially(base_model):
+    online = OnlineTrout(base_model, OnlineConfig(window=5000, refresh_every=10_000))
+    X, m = _make_data(600, seed=1)
+    online.observe(X, m)
+    assert online.drift.n_seen == 600
+    assert 0.5 < online.drift.classifier_accuracy <= 1.0
+    assert online.n_refreshes == 0  # below refresh threshold
+
+
+def test_refresh_triggers_and_counts(base_model):
+    online = OnlineTrout(
+        base_model, OnlineConfig(window=2000, refresh_every=300, epochs=1)
+    )
+    X, m = _make_data(900, seed=2)
+    for lo in range(0, 900, 150):
+        online.observe(X[lo : lo + 150], m[lo : lo + 150])
+    assert online.n_refreshes >= 2
+
+
+def test_window_is_bounded(base_model):
+    online = OnlineTrout(
+        base_model, OnlineConfig(window=400, refresh_every=10_000)
+    )
+    for seed in range(6):
+        X, m = _make_data(200, seed=seed)
+        online.observe(X, m)
+    assert online._buffered <= 400 + 200  # at most one chunk over
+
+
+def test_refresh_adapts_to_drift(base_model):
+    """After a regime shift, a refreshed model should beat the frozen one
+    on the new regime."""
+    frozen = OnlineTrout(base_model, OnlineConfig(refresh_every=10**9))
+    # Clone-by-reference is fine for frozen (never refreshes).
+    online = OnlineTrout(
+        base_model, OnlineConfig(window=3000, refresh_every=500, epochs=4, lr=1e-3)
+    )
+    X_new, m_new = _make_data(2500, seed=3, shift=1.0)
+    for lo in range(0, 2000, 500):
+        online.observe(X_new[lo : lo + 500], m_new[lo : lo + 500])
+    # Evaluate both on the tail of the shifted stream.
+    X_eval, m_eval = X_new[2000:], m_new[2000:]
+    truth = (m_eval > 10).astype(float)
+    acc_after = np.mean(
+        online.model.classifier.predict(X_eval).astype(float) == truth
+    )
+    assert acc_after > 0.6
+    assert online.n_refreshes >= 3
+
+
+def test_prediction_api_passthrough(base_model):
+    online = OnlineTrout(base_model)
+    X, _ = _make_data(20, seed=4)
+    msgs = online.predict_messages(X)
+    assert len(msgs) == 20
+    assert len(online.predict_minutes(X)) == 20
+
+
+def test_refresh_survives_single_class_stream(base_model):
+    """An all-quick-start stream must not crash the classifier refresh
+    (balance requires both classes; the refresh skips gracefully)."""
+    online = OnlineTrout(
+        base_model, OnlineConfig(window=1000, refresh_every=200, epochs=1)
+    )
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 4))
+    X[:, 0] = -3.0  # forces the quick branch of the data generator
+    minutes = rng.uniform(0, 5, 400)  # all quick
+    online.observe(X[:200], minutes[:200])
+    online.observe(X[200:], minutes[200:])
+    assert online.n_refreshes >= 1
+    assert online.drift.n_long == 0
+    assert np.isnan(online.drift.regressor_mape)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        OnlineConfig(window=5)
+    with pytest.raises(ValueError):
+        OnlineConfig(epochs=0)
+    with pytest.raises(ValueError):
+        OnlineConfig(lr=0.0)

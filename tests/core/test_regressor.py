@@ -1,0 +1,98 @@
+"""Queue-time regressor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RegressorConfig
+from repro.core.regressor import QueueTimeRegressor
+
+
+def _queueish(n=2000, seed=0):
+    """Log-scale-learnable positive target resembling queue minutes."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    minutes = np.exp(1.0 + 1.2 * X[:, 0] + 0.5 * X[:, 1] + 0.2 * rng.normal(size=n))
+    return X, minutes
+
+
+def _fast_cfg(**kw):
+    base = dict(hidden=(32, 16), epochs=30, patience=5)
+    base.update(kw)
+    return RegressorConfig(**base)
+
+
+def test_learns_multiplicative_target():
+    X, m = _queueish()
+    reg = QueueTimeRegressor(5, _fast_cfg(), seed=0).fit(X, m)
+    Xte, mte = _queueish(seed=1)
+    pred = reg.predict_minutes(Xte)
+    r = np.corrcoef(np.log1p(pred), np.log1p(mte))[0, 1]
+    assert r > 0.9
+    assert np.all(pred >= 0)
+
+
+def test_log_target_helps_on_skewed_data():
+    X, m = _queueish()
+    Xte, mte = _queueish(seed=2)
+    log_reg = QueueTimeRegressor(5, _fast_cfg(log_target=True), seed=0).fit(X, m)
+    raw_reg = QueueTimeRegressor(5, _fast_cfg(log_target=False), seed=0).fit(X, m)
+    from repro.eval.metrics import mean_absolute_percentage_error as mape
+
+    assert mape(mte, log_reg.predict_minutes(Xte)) < mape(
+        mte, raw_reg.predict_minutes(Xte)
+    )
+
+
+def test_batch_norm_flag_builds():
+    X, m = _queueish(400)
+    reg = QueueTimeRegressor(5, _fast_cfg(batch_norm=True, epochs=3), seed=0).fit(X, m)
+    assert np.all(np.isfinite(reg.predict_minutes(X)))
+
+
+def test_negative_minutes_rejected():
+    with pytest.raises(ValueError):
+        QueueTimeRegressor(2, _fast_cfg()).fit(np.zeros((10, 2)), -np.ones(10))
+
+
+def test_feature_count_checked():
+    X, m = _queueish(100)
+    with pytest.raises(ValueError):
+        QueueTimeRegressor(3, _fast_cfg()).fit(X, m)
+
+
+def test_decode_caps_blowups():
+    reg = QueueTimeRegressor(2, RegressorConfig())
+    out = reg._decode_target(np.array([100.0]))  # would be exp(100) uncapped
+    assert np.isfinite(out[0])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        RegressorConfig(hidden=())
+
+
+def test_predict_interval_brackets_point_estimate():
+    X, m = _queueish(1200)
+    reg = QueueTimeRegressor(5, _fast_cfg(dropout=0.2), seed=0).fit(X, m)
+    iv = reg.predict_interval(X[:200], n_samples=20, alpha=0.2)
+    assert set(iv) == {"median", "lower", "upper"}
+    assert np.all(iv["lower"] <= iv["median"] + 1e-9)
+    assert np.all(iv["median"] <= iv["upper"] + 1e-9)
+    # Dropout gives genuinely nonzero spread somewhere.
+    assert np.any(iv["upper"] - iv["lower"] > 0)
+
+
+def test_predict_interval_no_dropout_degenerates():
+    X, m = _queueish(400)
+    reg = QueueTimeRegressor(5, _fast_cfg(dropout=0.0, epochs=5), seed=0).fit(X, m)
+    iv = reg.predict_interval(X[:50], n_samples=5)
+    np.testing.assert_allclose(iv["lower"], iv["upper"])
+
+
+def test_predict_interval_validation():
+    X, m = _queueish(200)
+    reg = QueueTimeRegressor(5, _fast_cfg(epochs=2), seed=0).fit(X, m)
+    with pytest.raises(ValueError):
+        reg.predict_interval(X[:5], n_samples=1)
+    with pytest.raises(ValueError):
+        reg.predict_interval(X[:5], alpha=0.0)

@@ -1,0 +1,74 @@
+"""End-to-end training orchestration on the session trace."""
+
+import numpy as np
+import pytest
+
+from repro.core import TroutConfig, run_regression_cv, train_trout
+from repro.core.config import ClassifierConfig, RegressorConfig
+from repro.core.training import build_feature_matrix
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return TroutConfig(
+        classifier=ClassifierConfig(hidden=(48, 24), epochs=30, patience=6, lr=2e-3),
+        regressor=RegressorConfig(hidden=(64, 32), epochs=40, patience=6),
+        seed=0,
+    )
+
+
+def test_build_feature_matrix(feature_matrix, trace_jobs):
+    fm, runtime = feature_matrix
+    assert fm.X.shape == (len(trace_jobs), 33)
+    assert np.all(np.isfinite(fm.X))
+    # Runtime model was fitted (predictions differ from the timelimit
+    # fallback for most jobs).
+    pred = runtime.predict_minutes(trace_jobs)
+    assert np.mean(np.isclose(pred, trace_jobs.column("timelimit_min"))) < 0.5
+
+
+def test_train_trout_metrics(feature_matrix, fast_config):
+    fm, _ = feature_matrix
+    out = train_trout(fm, fast_config)
+    # §IV regime: strong overall accuracy with "similar accuracy on both
+    # classes" — at test scale (15k jobs, fast config) we assert both are
+    # clearly above chance; the R1 benchmark reproduces the ~90 % figure
+    # at full scale.
+    assert out.classifier_accuracy > 0.72
+    assert out.classifier_accuracy_quick > 0.55
+    assert out.classifier_accuracy_long > 0.55
+    assert out.n_holdout == max(1, round(0.2 * len(fm.X)))
+    assert np.isfinite(out.regression_mape_holdout)
+
+
+def test_trained_model_inference_shapes(feature_matrix, fast_config):
+    fm, _ = feature_matrix
+    out = train_trout(fm, fast_config)
+    msgs = out.model.predict_messages(fm.X[-20:])
+    assert len(msgs) == 20
+
+
+def test_run_regression_cv_folds(feature_matrix, fast_config):
+    fm, _ = feature_matrix
+    cv = run_regression_cv(fm, fast_config)
+    assert len(cv.folds) == 5
+    for f in cv.folds:
+        assert f.mape > 0
+        assert -1 <= f.pearson <= 1
+        assert 0 <= f.within_100 <= 1
+        assert len(f.y_true) == f.n_test
+    # Expanding window: training sets grow.
+    sizes = [f.n_train for f in cv.folds]
+    assert sizes == sorted(sizes)
+    # Learnable signal shows up in the later (data-rich) folds; individual
+    # folds are noisy at test scale, so assert on the best of the last 3.
+    assert max(f.pearson for f in cv.folds[-3:]) > 0.15
+    assert np.isfinite(cv.mape_last3)
+    assert cv.final_pearson == cv.folds[-1].pearson
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TroutConfig(cutoff_min=0)
+    with pytest.raises(ValueError):
+        TroutConfig(val_fraction=0.9)

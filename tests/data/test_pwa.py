@@ -1,0 +1,165 @@
+"""Parallel Workloads Archive standard-SWF import."""
+
+import numpy as np
+import pytest
+
+from repro.data.pwa import read_standard_swf
+from repro.data.schema import JobState
+
+
+def _write_swf(path, records, header=True):
+    lines = []
+    if header:
+        lines += ["; Computer: TestCluster", "; MaxJobs: 10"]
+    for r in records:
+        lines.append(" ".join(str(v) for v in r))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _rec(job=1, submit=0, wait=60, run=600, procs=4, req_time=3600,
+         mem_kb=-1, status=1, user=7, queue=1):
+    # 18 standard fields.
+    return [
+        job, submit, wait, run, procs, -1, -1, procs, req_time, mem_kb,
+        status, user, 1, -1, queue, 1, -1, -1,
+    ]
+
+
+def test_basic_parse(tmp_path):
+    p = tmp_path / "t.swf"
+    _write_swf(p, [_rec(job=1), _rec(job=2, submit=100, wait=0, queue=2)])
+    jobs = read_standard_swf(p)
+    assert len(jobs) == 2
+    assert jobs.partition_names == ("q1", "q2")
+    np.testing.assert_allclose(jobs.queue_time_min, [1.0, 0.0])
+    np.testing.assert_allclose(jobs.runtime_min, [10.0, 10.0])
+    assert jobs.column("timelimit_min")[0] == 60.0
+    jobs.validate()
+
+
+def test_wait_time_preserved(tmp_path):
+    """The decisive property: SWF wait time becomes our queue time."""
+    p = tmp_path / "t.swf"
+    _write_swf(p, [_rec(job=i, submit=i * 10, wait=i * 30) for i in range(1, 6)])
+    jobs = read_standard_swf(p)
+    np.testing.assert_allclose(
+        jobs.queue_time_min, np.array([1, 2, 3, 4, 5]) * 0.5
+    )
+
+
+def test_memory_fallback_and_explicit(tmp_path):
+    p = tmp_path / "t.swf"
+    _write_swf(
+        p,
+        [
+            _rec(job=1, procs=4, mem_kb=-1),
+            _rec(job=2, procs=4, mem_kb=2 * 1024 * 1024),  # 2 GB/proc
+        ],
+    )
+    jobs = read_standard_swf(p, mem_per_proc_gb=1.5)
+    np.testing.assert_allclose(jobs.column("req_mem_gb")[0], 6.0)  # 4 × 1.5
+    np.testing.assert_allclose(jobs.column("req_mem_gb")[1], 8.0)  # explicit
+
+
+def test_node_derivation(tmp_path):
+    p = tmp_path / "t.swf"
+    _write_swf(p, [_rec(procs=300)])
+    jobs = read_standard_swf(p, cpus_per_node=128)
+    assert jobs.column("req_nodes")[0] == 3
+
+
+def test_status_mapping(tmp_path):
+    p = tmp_path / "t.swf"
+    _write_swf(
+        p,
+        [
+            _rec(job=1, status=1),
+            _rec(job=2, status=0),
+            _rec(job=3, status=5),
+            _rec(job=4, status=1, run=3600, req_time=3600),  # ran to limit
+        ],
+    )
+    jobs = read_standard_swf(p).sort_by("job_id")
+    states = jobs.column("state")
+    assert states[0] == int(JobState.COMPLETED)
+    assert states[1] == int(JobState.FAILED)
+    assert states[2] == int(JobState.CANCELLED)
+    assert states[3] == int(JobState.TIMEOUT)
+
+
+def test_anomalies_dropped_or_raised(tmp_path):
+    p = tmp_path / "t.swf"
+    _write_swf(p, [_rec(job=1), _rec(job=2, wait=-1), _rec(job=3, procs=0)])
+    jobs = read_standard_swf(p)
+    assert len(jobs) == 1
+    with pytest.raises(ValueError, match="anomalous"):
+        read_standard_swf(p, drop_anomalies=False)
+
+
+def test_ordering_and_empty_errors(tmp_path):
+    p = tmp_path / "t.swf"
+    _write_swf(p, [_rec(job=2, submit=500), _rec(job=1, submit=0)])
+    jobs = read_standard_swf(p)
+    assert list(jobs.column("job_id")) == [1, 2]  # eligibility-ordered
+    empty = tmp_path / "e.swf"
+    empty.write_text("; nothing\n")
+    with pytest.raises(ValueError, match="no job records"):
+        read_standard_swf(empty)
+    short = tmp_path / "s.swf"
+    short.write_text("1 2 3\n")
+    with pytest.raises(ValueError, match="18 fields"):
+        read_standard_swf(short)
+
+
+def test_write_read_roundtrip(tmp_path, trace_jobs):
+    from repro.data.pwa import write_standard_swf
+
+    sub = trace_jobs[:300]
+    p = tmp_path / "rt.swf"
+    write_standard_swf(sub, p)
+    back = read_standard_swf(p)
+    assert len(back) == len(sub)
+    # Wait and run times survive to 1-second resolution.
+    np.testing.assert_allclose(
+        back.queue_time_min, sub.queue_time_min, atol=2 / 60
+    )
+    np.testing.assert_allclose(back.runtime_min, sub.runtime_min, atol=2 / 60)
+    np.testing.assert_array_equal(back.column("req_cpus"), sub.column("req_cpus"))
+    # Queue numbering is 1-based in the file.
+    text = p.read_text()
+    assert "; Computer:" in text
+
+
+def test_feature_pipeline_accepts_pwa_trace(tmp_path):
+    """A PWA trace must flow through the Table II pipeline unchanged."""
+    rng = np.random.default_rng(0)
+    recs = []
+    t = 0
+    for i in range(1, 120):
+        t += int(rng.exponential(60))
+        recs.append(
+            _rec(
+                job=i,
+                submit=t,
+                wait=int(rng.exponential(300)),
+                run=int(rng.exponential(1200)) + 1,
+                procs=int(rng.choice([1, 4, 16, 64])),
+                req_time=int(rng.choice([1800, 3600, 14400])),
+                user=int(rng.integers(0, 6)),
+                queue=int(rng.choice([1, 2])),
+            )
+        )
+    p = tmp_path / "t.swf"
+    _write_swf(p, recs)
+    jobs = read_standard_swf(p)
+
+    from repro.features.pipeline import FeaturePipeline
+    from repro.slurm.resources import Cluster, NodePool, Partition
+
+    pool = NodePool("p", n_nodes=100, cpus_per_node=128, mem_gb_per_node=256.0)
+    cluster = Cluster(
+        "pwa", [pool], [Partition("q1", pool="p"), Partition("q2", pool="p")]
+    )
+    fm = FeaturePipeline(cluster).compute(jobs)
+    assert fm.X.shape == (len(jobs), 33)
+    assert np.all(np.isfinite(fm.X))

@@ -1,0 +1,99 @@
+"""JobSet container semantics and derived columns."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import JOB_DTYPE, JobSet, JobState
+
+
+def _mini(n=4):
+    rec = np.zeros(n, dtype=JOB_DTYPE)
+    rec["job_id"] = np.arange(1, n + 1)
+    rec["user_id"] = [0, 1, 0, 1][:n]
+    rec["partition"] = [0, 1, 0, 0][:n]
+    rec["submit_time"] = [0.0, 10.0, 20.0, 30.0][:n]
+    rec["eligible_time"] = rec["submit_time"]
+    rec["start_time"] = rec["eligible_time"] + [0.0, 600.0, 60.0, 0.0][:n]
+    rec["end_time"] = rec["start_time"] + [3600.0, 60.0, 600.0, 120.0][:n]
+    rec["req_cpus"] = [4, 8, 1, 128][:n]
+    rec["req_mem_gb"] = [8.0, 16.0, 2.0, 256.0][:n]
+    rec["req_nodes"] = 1
+    rec["timelimit_min"] = [120.0, 10.0, 30.0, 2.0][:n]
+    return JobSet(rec, ("shared", "gpu"))
+
+
+def test_from_columns_roundtrip():
+    js = JobSet.from_columns(
+        {"job_id": [1, 2], "req_cpus": [2, 4], "req_nodes": [1, 1]},
+        ("shared",),
+    )
+    assert len(js) == 2
+    np.testing.assert_array_equal(js.column("req_cpus"), [2, 4])
+    # unspecified columns default to zero
+    assert js.column("priority").sum() == 0.0
+
+
+def test_from_columns_rejects_unknown_and_ragged():
+    with pytest.raises(KeyError):
+        JobSet.from_columns({"nope": [1]})
+    with pytest.raises(ValueError):
+        JobSet.from_columns({"job_id": [1, 2], "req_cpus": [1]})
+
+
+def test_wrong_dtype_rejected():
+    with pytest.raises(TypeError):
+        JobSet(np.zeros(3))
+
+
+def test_derived_columns():
+    js = _mini()
+    np.testing.assert_allclose(js.queue_time_min, [0.0, 10.0, 1.0, 0.0])
+    np.testing.assert_allclose(js.runtime_min, [60.0, 1.0, 10.0, 2.0])
+    np.testing.assert_allclose(js.wasted_time_min, [60.0, 9.0, 20.0, 0.0])
+    util = js.walltime_utilization
+    assert np.all((util >= 0) & (util <= 1))
+
+
+def test_sort_where_partition():
+    js = _mini().sort_by("req_cpus")
+    assert list(js.column("req_cpus")) == [1, 4, 8, 128]
+    sub = _mini().in_partition("gpu")
+    assert len(sub) == 1 and sub.column("job_id")[0] == 2
+    with pytest.raises(KeyError):
+        _mini().in_partition("nope")
+
+
+def test_where_mask_shape_checked():
+    with pytest.raises(ValueError):
+        _mini().where(np.array([True, False]))
+
+
+def test_getitem_variants():
+    js = _mini()
+    assert isinstance(js["job_id"], np.ndarray)
+    assert len(js[1:3]) == 2
+    assert len(js[np.array([0, 3])]) == 2
+    with pytest.raises(TypeError):
+        js[1.5]
+
+
+def test_validate_catches_time_travel():
+    js = _mini()
+    rec = js.records.copy()
+    rec["start_time"][0] = rec["eligible_time"][0] - 1
+    with pytest.raises(ValueError, match="start_time"):
+        JobSet(rec, js.partition_names).validate()
+    js.validate()  # original is fine
+
+
+def test_concat_checks_vocab():
+    a, b = _mini(2), _mini(2)
+    assert len(a.concat(b)) == 4
+    c = JobSet(_mini(2).records, ("other",))
+    with pytest.raises(ValueError):
+        a.concat(c)
+
+
+def test_jobstate_enum_values():
+    assert JobState.COMPLETED == 0
+    assert {s.name for s in JobState} == {"COMPLETED", "FAILED", "TIMEOUT", "CANCELLED"}

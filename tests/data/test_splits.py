@@ -1,0 +1,89 @@
+"""Time-series CV, holdout and shuffled split semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.splits import TimeSeriesSplit, holdout_recent, shuffled_split
+
+
+def test_paper_defaults_layout():
+    ts = TimeSeriesSplit()  # 5 folds, test 1/6
+    folds = list(ts.split(600))
+    assert len(folds) == 5
+    assert len(folds[0][1]) == 100
+    # Final fold tests on the most recent sixth.
+    assert folds[-1][1][-1] == 599
+    assert folds[-1][0][-1] == 499
+
+
+@given(n=st.integers(40, 5000), n_splits=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_folds_are_time_ordered_and_disjoint(n, n_splits):
+    ts = TimeSeriesSplit(n_splits=n_splits, test_fraction=0.1)
+    try:
+        folds = list(ts.split(n))
+    except ValueError:
+        return  # legitimately too small
+    prev_end = 0
+    for train, test in folds:
+        # expanding window from 0
+        assert train[0] == 0
+        # test follows train immediately
+        assert test[0] == train[-1] + 1
+        # test windows advance monotonically
+        assert test[0] >= prev_end
+        prev_end = test[0]
+        # never leaks: all training indices precede all test indices
+        assert train[-1] < test[0]
+
+
+def test_split_too_small_raises():
+    with pytest.raises(ValueError):
+        list(TimeSeriesSplit(5, 1 / 6).split(5))
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        TimeSeriesSplit(n_splits=0)
+    with pytest.raises(ValueError):
+        TimeSeriesSplit(test_fraction=1.5)
+
+
+def test_fold_bounds_match_split():
+    ts = TimeSeriesSplit(3, 0.2)
+    bounds = ts.fold_bounds(100)
+    folds = list(ts.split(100))
+    for b, (train, test) in zip(bounds, folds):
+        assert b["train_end"] == len(train)
+        assert b["test_start"] == test[0]
+        assert b["test_end"] == test[-1] + 1
+
+
+def test_holdout_recent_paper_20pct():
+    past, recent = holdout_recent(1000, 0.2)
+    assert len(recent) == 200
+    assert recent[0] == 800 and past[-1] == 799
+
+
+def test_holdout_invalid():
+    with pytest.raises(ValueError):
+        holdout_recent(10, 0.0)
+    with pytest.raises(ValueError):
+        holdout_recent(1, 0.9)
+
+
+def test_shuffled_split_partitions_everything():
+    train, test = shuffled_split(100, 0.25, seed=0)
+    assert len(train) + len(test) == 100
+    assert len(np.intersect1d(train, test)) == 0
+    # Seeded reproducibility
+    train2, test2 = shuffled_split(100, 0.25, seed=0)
+    np.testing.assert_array_equal(test, test2)
+
+
+def test_shuffled_split_mixes_time():
+    _, test = shuffled_split(1000, 0.2, seed=1)
+    # A time-ordered split would have test indices all >= 800.
+    assert test.min() < 800

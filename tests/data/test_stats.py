@@ -1,0 +1,40 @@
+"""Table I statistics computation."""
+
+import numpy as np
+
+from repro.data.stats import format_statistics_table, job_statistics, summarize_variable
+
+
+def test_summarize_known_values():
+    s = summarize_variable(np.array([1.0, 2.0, 3.0, 10.0]))
+    assert s["max"] == 10.0
+    assert s["mean"] == 4.0
+    assert s["median"] == 2.5
+    assert s["count"] == 4
+    assert np.isclose(s["std"], np.std([1, 2, 3, 10]))
+
+
+def test_summarize_empty():
+    s = summarize_variable(np.array([]))
+    assert s["count"] == 0 and s["max"] == 0.0
+
+
+def test_job_statistics_rows(trace_jobs):
+    stats = job_statistics(trace_jobs)
+    assert set(stats) == {
+        "Requested Time (hr)",
+        "Runtime (hr)",
+        "Wasted Time (hr)",
+        "Jobs Submitted By User",
+    }
+    # Requested >= runtime on average (overestimation is the norm).
+    assert stats["Requested Time (hr)"]["mean"] >= stats["Runtime (hr)"]["mean"]
+    # Per-user counts sum to the trace size.
+    per_user = stats["Jobs Submitted By User"]
+    assert per_user["mean"] * per_user["count"] == len(trace_jobs)
+
+
+def test_format_statistics_table(trace_jobs):
+    text = format_statistics_table(job_statistics(trace_jobs))
+    assert "Requested Time (hr)" in text
+    assert len(text.splitlines()) == 6

@@ -1,0 +1,33 @@
+"""SWF-style trace serialisation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.data.swf import read_swf, write_swf
+
+
+def test_roundtrip_preserves_everything(tmp_path, trace_jobs):
+    path = tmp_path / "trace.swf"
+    sub = trace_jobs[:200]
+    write_swf(sub, path)
+    back = read_swf(path)
+    assert back.partition_names == sub.partition_names
+    assert len(back) == len(sub)
+    for name in sub.records.dtype.names:
+        np.testing.assert_array_equal(back.records[name], sub.records[name], err_msg=name)
+
+
+def test_header_is_commented(tmp_path, trace_jobs):
+    path = tmp_path / "trace.swf"
+    write_swf(trace_jobs[:5], path)
+    lines = path.read_text().splitlines()
+    assert lines[0].startswith(";")
+    assert any("partitions:" in l for l in lines[:3])
+    assert len([l for l in lines if not l.startswith(";")]) == 5
+
+
+def test_bad_record_rejected(tmp_path):
+    path = tmp_path / "bad.swf"
+    path.write_text("; repro job trace v1\n1 2 3\n")
+    with pytest.raises(ValueError, match="expected"):
+        read_swf(path)

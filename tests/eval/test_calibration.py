@@ -1,0 +1,45 @@
+"""Interval-coverage evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RegressorConfig
+from repro.core.regressor import QueueTimeRegressor
+from repro.eval.calibration import coverage_curve, interval_coverage
+
+
+def test_interval_coverage_known_values():
+    y = np.array([1.0, 2.0, 3.0, 4.0])
+    lo = np.array([0.0, 2.5, 2.0, 0.0])
+    hi = np.array([2.0, 3.0, 5.0, 1.0])
+    stats = interval_coverage(y, lo, hi)
+    assert stats["coverage"] == 0.5  # y[0], y[2] inside
+    assert stats["below"] == 0.25  # y[1] below its interval
+    assert stats["above"] == 0.25  # y[3] above its interval
+    np.testing.assert_allclose(stats["mean_width"], np.mean(hi - lo))
+
+
+def test_interval_coverage_validation():
+    with pytest.raises(ValueError):
+        interval_coverage(np.ones(2), np.array([1.0, 2.0]), np.array([0.5, 3.0]))
+    with pytest.raises(ValueError):
+        interval_coverage(np.ones(2), np.ones(3), np.ones(2))
+
+
+def test_coverage_curve_monotone_in_nominal():
+    """Wider nominal coverage must give wider, more-covering intervals."""
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(2500, 4))
+    minutes = np.exp(2.0 + X[:, 0] + 0.3 * rng.normal(size=2500))
+    reg = QueueTimeRegressor(
+        4, RegressorConfig(hidden=(32, 16), epochs=25, patience=5, dropout=0.25), seed=0
+    ).fit(X, minutes)
+    rows = coverage_curve(
+        reg, X[-500:], minutes[-500:], alphas=np.array([0.5, 0.1])
+    )
+    assert rows[0]["nominal"] == 0.5 and rows[1]["nominal"] == 0.9
+    assert rows[1]["mean_width"] >= rows[0]["mean_width"]
+    assert rows[1]["coverage"] >= rows[0]["coverage"]
+    # MC dropout reflects epistemic spread only; it may undercover noisy
+    # targets, but must produce *some* meaningful coverage.
+    assert rows[1]["coverage"] > 0.05

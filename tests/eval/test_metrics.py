@@ -1,0 +1,112 @@
+"""Evaluation metrics — including the paper's own worked example."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    absolute_percentage_error,
+    binary_accuracy,
+    confusion_binary,
+    mean_absolute_percentage_error,
+    median_absolute_percentage_error,
+    pearson_r,
+    within_percent_error,
+)
+
+
+def test_paper_worked_example():
+    """§III: 'predicting one minute when the true value is 10 minutes
+    (900% off) versus predicting 10 minutes when the true value is 30
+    minutes (200% off)'."""
+    assert absolute_percentage_error(np.array([10.0]), np.array([1.0]))[0] == 90.0
+    # (the paper quotes the inverse direction: 1 -> 10 is 900 %)
+    assert absolute_percentage_error(np.array([1.0]), np.array([10.0]))[0] == 900.0
+    np.testing.assert_allclose(
+        absolute_percentage_error(np.array([30.0]), np.array([10.0]))[0],
+        100 * 20 / 30,
+    )
+
+
+def test_symmetric_scale_property():
+    """§IV: 'a one-minute prediction for a delay of two minutes and a
+    one-day prediction for a delay of two days will both yield 100% error'."""
+    small = mean_absolute_percentage_error(np.array([2.0]), np.array([1.0]))
+    big = mean_absolute_percentage_error(np.array([2880.0]), np.array([1440.0]))
+    assert small == big == 50.0
+
+
+def test_mape_and_median():
+    t = np.array([10.0, 10.0, 10.0])
+    p = np.array([10.0, 20.0, 5.0])
+    np.testing.assert_allclose(mean_absolute_percentage_error(t, p), 50.0)
+    np.testing.assert_allclose(median_absolute_percentage_error(t, p), 50.0)
+
+
+def test_within_percent_error():
+    t = np.array([10.0, 10.0, 10.0, 10.0])
+    p = np.array([10.0, 19.0, 21.0, 100.0])
+    np.testing.assert_allclose(within_percent_error(t, p, 100.0), 0.5)
+    with pytest.raises(ValueError):
+        within_percent_error(t, p, 0.0)
+
+
+def test_pearson_known_values():
+    x = np.arange(10.0)
+    np.testing.assert_allclose(pearson_r(x, 3 * x + 1), 1.0)
+    np.testing.assert_allclose(pearson_r(x, -x), -1.0)
+    assert pearson_r(x, np.ones(10)) == 0.0  # degenerate
+
+
+@given(
+    st.lists(st.floats(0.1, 1e4, allow_nan=False), min_size=2, max_size=50),
+    st.floats(1.01, 3.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_scale_invariance_of_mape(values, factor):
+    """MAPE is invariant to rescaling both arrays — the property the paper
+    chose it for."""
+    t = np.array(values)
+    p = t * factor
+    a = mean_absolute_percentage_error(t, p)
+    b = mean_absolute_percentage_error(10 * t, 10 * p)
+    np.testing.assert_allclose(a, b, rtol=1e-9)
+
+
+def test_binary_accuracy_and_confusion():
+    t = np.array([0, 0, 1, 1, 1.0])
+    p = np.array([0, 1, 1, 0, 1.0])
+    np.testing.assert_allclose(binary_accuracy(t, p), 3 / 5)
+    c = confusion_binary(t, p)
+    assert c == {"tn": 1, "fp": 1, "fn": 1, "tp": 2}
+
+
+def test_length_mismatch():
+    with pytest.raises(ValueError):
+        mean_absolute_percentage_error(np.zeros(3), np.zeros(4))
+
+
+def test_binned_ape_partitions_samples():
+    from repro.eval.metrics import binned_ape
+
+    t = np.array([5.0, 20.0, 45.0, 100.0, 2000.0])
+    p = t * 1.5  # uniform 50% error
+    bins = binned_ape(t, p)
+    assert sum(b["n"] for b in bins) == len(t)
+    for b in bins:
+        np.testing.assert_allclose(b["mape"], 50.0)
+        np.testing.assert_allclose(b["median_ape"], 50.0)
+    # Bin bounds cover their samples.
+    for b in bins:
+        assert b["lo"] < b["hi"]
+
+
+def test_binned_ape_custom_edges_skip_empty():
+    from repro.eval.metrics import binned_ape
+
+    t = np.array([1.0, 2.0])
+    p = np.array([2.0, 4.0])
+    bins = binned_ape(t, p, edges=np.array([10.0, 100.0, np.inf]))
+    assert len(bins) == 1  # only the first bin is populated
+    assert bins[0]["n"] == 2

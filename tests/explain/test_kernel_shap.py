@@ -1,0 +1,69 @@
+"""KernelSHAP-style explainer properties."""
+
+import numpy as np
+import pytest
+
+from repro.explain.kernel_shap import KernelShapExplainer
+
+
+def _linear_model(w):
+    return lambda X: X @ w
+
+
+def test_local_accuracy():
+    """Attributions + base value must reconstruct the prediction."""
+    rng = np.random.default_rng(0)
+    w = np.array([2.0, -1.0, 0.5, 0.0])
+    background = rng.normal(size=(50, 4))
+    expl = KernelShapExplainer(_linear_model(w), background, n_samples=256, seed=0)
+    x = rng.normal(size=4)
+    phi = expl.shap_values(x)
+    fx = float(x @ w)
+    np.testing.assert_allclose(phi.sum() + expl.base_value, fx, rtol=1e-6)
+
+
+def test_linear_model_exact_attributions():
+    """For a linear model, SHAP values are w_i (x_i − E[x_i])."""
+    rng = np.random.default_rng(1)
+    w = np.array([3.0, -2.0, 1.0])
+    background = rng.normal(size=(100, 3))
+    expl = KernelShapExplainer(_linear_model(w), background, n_samples=512, seed=0)
+    x = np.array([1.0, 2.0, -1.0])
+    phi = expl.shap_values(x)
+    expected = w * (x - background.mean(axis=0))
+    np.testing.assert_allclose(phi, expected, atol=0.05)
+
+
+def test_irrelevant_feature_gets_zero():
+    rng = np.random.default_rng(2)
+    w = np.array([5.0, 0.0])
+    background = rng.normal(size=(60, 2))
+    expl = KernelShapExplainer(_linear_model(w), background, n_samples=256, seed=0)
+    phi = expl.shap_values(np.array([2.0, 10.0]))
+    assert abs(phi[1]) < 0.05
+
+
+def test_single_feature_case():
+    background = np.array([[0.0], [2.0]])
+    expl = KernelShapExplainer(lambda X: X[:, 0] * 2, background, n_samples=16, seed=0)
+    phi = expl.shap_values(np.array([3.0]))
+    # f(x) − base = 6 − 2
+    np.testing.assert_allclose(phi, [4.0])
+
+
+def test_mean_abs_ranking_for_pruning():
+    rng = np.random.default_rng(3)
+    w = np.array([4.0, 1.0, 0.0])
+    background = rng.normal(size=(40, 3))
+    expl = KernelShapExplainer(_linear_model(w), background, n_samples=128, seed=0)
+    imp = expl.mean_abs_shap(rng.normal(size=(10, 3)))
+    assert imp[0] > imp[1] > imp[2]
+
+
+def test_validation():
+    bg = np.zeros((5, 3))
+    with pytest.raises(ValueError):
+        KernelShapExplainer(lambda X: X[:, 0], bg, n_samples=2)
+    expl = KernelShapExplainer(lambda X: X[:, 0], bg, n_samples=16, seed=0)
+    with pytest.raises(ValueError):
+        expl.shap_values(np.zeros(5))

@@ -1,0 +1,71 @@
+"""Search-space parameter codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpo.space import Categorical, Float, Int, SearchSpace
+
+
+@given(u=st.floats(0, 1, exclude_max=True))
+@settings(max_examples=50, deadline=None)
+def test_float_unit_roundtrip(u):
+    p = Float(0.5, 10.0)
+    v = p.from_unit(u)
+    assert 0.5 <= v <= 10.0
+    np.testing.assert_allclose(p.to_unit(v), u, atol=1e-12)
+
+
+@given(u=st.floats(0, 1, exclude_max=True))
+@settings(max_examples=50, deadline=None)
+def test_log_float_roundtrip(u):
+    p = Float(1e-5, 1e-1, log=True)
+    v = p.from_unit(u)
+    assert 1e-5 <= v <= 1e-1 * (1 + 1e-12)
+    np.testing.assert_allclose(p.to_unit(v), u, atol=1e-9)
+
+
+def test_log_float_uniform_in_log():
+    p = Float(1e-4, 1.0, log=True)
+    np.testing.assert_allclose(p.from_unit(0.5), 1e-2, rtol=1e-9)
+
+
+def test_int_covers_range():
+    p = Int(3, 7)
+    vals = {p.from_unit(u) for u in np.linspace(0, 0.999, 200)}
+    assert vals == {3, 4, 5, 6, 7}
+
+
+def test_int_log():
+    p = Int(1, 1000, log=True)
+    assert p.from_unit(0.0) == 1
+    assert p.from_unit(0.9999) == 1000
+    assert 10 <= p.from_unit(0.5) <= 100
+
+
+def test_categorical_mapping():
+    p = Categorical(["a", "b", "c"])
+    assert p.from_unit(0.1) == "a"
+    assert p.from_unit(0.5) == "b"
+    assert p.from_unit(0.99) == "c"
+    np.testing.assert_allclose(p.to_unit("b"), 0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Float(1.0, 1.0)
+    with pytest.raises(ValueError):
+        Float(0.0, 1.0, log=True)
+    with pytest.raises(ValueError):
+        Int(5, 3)
+    with pytest.raises(ValueError):
+        Categorical([])
+
+
+def test_space_register_conflict():
+    s = SearchSpace()
+    s.register("lr", Float(0.1, 1.0))
+    s.register("lr", Float(0.1, 1.0))  # identical re-registration ok
+    with pytest.raises(ValueError):
+        s.register("lr", Float(0.2, 1.0))

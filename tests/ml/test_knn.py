@@ -1,0 +1,62 @@
+"""kNN regression behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml import KNeighborsRegressor
+
+
+def test_k1_memorises():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(50, 3))
+    y = rng.normal(size=50)
+    m = KNeighborsRegressor(n_neighbors=1).fit(X, y)
+    np.testing.assert_allclose(m.predict(X), y)
+
+
+def test_uniform_average_of_neighbours():
+    X = np.array([[0.0], [1.0], [10.0]])
+    y = np.array([0.0, 2.0, 100.0])
+    m = KNeighborsRegressor(n_neighbors=2).fit(X, y)
+    # Query at 0.4: neighbours are x=0 and x=1.
+    np.testing.assert_allclose(m.predict(np.array([[0.4]])), [1.0])
+
+
+def test_distance_weighting_prefers_closer():
+    X = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 10.0])
+    m = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+    pred = m.predict(np.array([[0.1]]))[0]
+    assert pred < 5.0  # closer to y=0
+
+
+def test_exact_match_dominates_distance_mode():
+    X = np.array([[0.0], [1.0]])
+    y = np.array([5.0, 10.0])
+    m = KNeighborsRegressor(n_neighbors=2, weights="distance").fit(X, y)
+    np.testing.assert_allclose(m.predict(np.array([[0.0]])), [5.0])
+
+
+def test_k_clipped_to_training_size():
+    X = np.array([[0.0], [1.0]])
+    y = np.array([1.0, 3.0])
+    m = KNeighborsRegressor(n_neighbors=50).fit(X, y)
+    np.testing.assert_allclose(m.predict(np.array([[0.5]])), [2.0])
+
+
+def test_smooth_function_interpolation():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-3, 3, size=(2000, 1))
+    y = np.sin(X[:, 0])
+    m = KNeighborsRegressor(n_neighbors=10).fit(X, y)
+    Xq = rng.uniform(-2.5, 2.5, size=(200, 1))
+    np.testing.assert_allclose(m.predict(Xq), np.sin(Xq[:, 0]), atol=0.1)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KNeighborsRegressor(n_neighbors=0)
+    with pytest.raises(ValueError):
+        KNeighborsRegressor(weights="nope")
+    with pytest.raises(RuntimeError):
+        KNeighborsRegressor().predict(np.zeros((2, 2)))

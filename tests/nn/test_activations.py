@@ -1,0 +1,73 @@
+"""Activation forward values and exact derivatives (hypothesis-checked)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import (
+    ELU,
+    GELU,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    get_activation,
+)
+
+ALL = [Identity(), ReLU(), LeakyReLU(0.1), ELU(), Sigmoid(), Tanh(), GELU()]
+
+
+def test_known_values():
+    x = np.array([-2.0, 0.0, 3.0])
+    np.testing.assert_allclose(ReLU().forward(x), [0, 0, 3])
+    np.testing.assert_allclose(LeakyReLU(0.1).forward(x), [-0.2, 0, 3])
+    np.testing.assert_allclose(ELU().forward(x), [np.expm1(-2), 0, 3])
+    np.testing.assert_allclose(Sigmoid().forward(np.zeros(1)), [0.5])
+    np.testing.assert_allclose(Identity().forward(x), x)
+
+
+@pytest.mark.parametrize("fn", ALL, ids=lambda f: f.name)
+@given(
+    xs=st.lists(
+        st.floats(-5, 5, allow_nan=False).filter(lambda v: abs(v) > 1e-3),
+        min_size=1,
+        max_size=20,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_derivative_matches_finite_difference(fn, xs):
+    x = np.asarray(xs)
+    eps = 1e-6
+    out = fn.forward(x)
+    grad = fn.backward(np.ones_like(x), x, out)
+    numeric = (fn.forward(x + eps) - fn.forward(x - eps)) / (2 * eps)
+    np.testing.assert_allclose(grad, numeric, rtol=1e-4, atol=1e-6)
+
+
+def test_elu_continuity_at_zero():
+    e = ELU(alpha=1.3)
+    left = e.forward(np.array([-1e-12]))
+    right = e.forward(np.array([1e-12]))
+    np.testing.assert_allclose(left, right, atol=1e-10)
+
+
+def test_registry():
+    assert isinstance(get_activation("elu", alpha=0.5), ELU)
+    assert get_activation("elu", alpha=0.5).alpha == 0.5
+    with pytest.raises(KeyError):
+        get_activation("nope")
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        ELU(alpha=0.0)
+    with pytest.raises(ValueError):
+        LeakyReLU(alpha=-1.0)
+
+
+def test_sigmoid_stable_extremes():
+    s = Sigmoid().forward(np.array([-1000.0, 1000.0]))
+    assert np.all(np.isfinite(s))
+    np.testing.assert_allclose(s, [0.0, 1.0], atol=1e-12)

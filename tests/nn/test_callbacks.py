@@ -1,0 +1,72 @@
+"""Callback behaviour in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Adam, Dense, Sequential
+from repro.nn.callbacks import EarlyStopping, History, LRSchedule
+
+
+def _net():
+    return Sequential([Dense(2, 4, seed=0), Activation("tanh"), Dense(4, 1, seed=1)]).compile(
+        "mse", Adam(lr=0.1)
+    )
+
+
+def test_history_series():
+    h = History()
+    net = _net()
+    h.on_train_begin(net)
+    h.on_epoch_end(net, 0, {"loss": 1.0})
+    h.on_epoch_end(net, 1, {"loss": 0.5, "val_loss": 0.7})
+    np.testing.assert_array_equal(h.series("loss"), [1.0, 0.5])
+    assert np.isnan(h.series("val_loss")[0])
+
+
+def test_early_stopping_patience_counting():
+    es = EarlyStopping(monitor="loss", patience=2, restore_best=False)
+    net = _net()
+    es.on_train_begin(net)
+    assert not es.on_epoch_end(net, 0, {"loss": 1.0})
+    assert not es.on_epoch_end(net, 1, {"loss": 1.1})  # 1 bad epoch
+    assert es.on_epoch_end(net, 2, {"loss": 1.2})  # 2 bad epochs -> stop
+    assert es.best == 1.0 and es.best_epoch == 0
+
+
+def test_early_stopping_min_delta():
+    es = EarlyStopping(monitor="loss", patience=1, min_delta=0.5, restore_best=False)
+    net = _net()
+    es.on_train_begin(net)
+    es.on_epoch_end(net, 0, {"loss": 1.0})
+    # 0.9 improves by < min_delta -> counts as no improvement -> stop.
+    assert es.on_epoch_end(net, 1, {"loss": 0.9})
+
+
+def test_early_stopping_missing_key_raises():
+    es = EarlyStopping(monitor="val_loss")
+    net = _net()
+    es.on_train_begin(net)
+    with pytest.raises(KeyError):
+        es.on_epoch_end(net, 0, {"loss": 1.0})
+
+
+def test_lr_schedule_decays():
+    net = _net()
+    sched = LRSchedule(factor=0.5, step=2, min_lr=0.02)
+    lr0 = net.optimizer.lr
+    sched.on_epoch_end(net, 0, {})
+    assert net.optimizer.lr == lr0
+    sched.on_epoch_end(net, 1, {})
+    assert net.optimizer.lr == lr0 * 0.5
+    for e in range(2, 20, 1):
+        sched.on_epoch_end(net, e, {})
+    assert net.optimizer.lr == 0.02  # floored
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        EarlyStopping(patience=0)
+    with pytest.raises(ValueError):
+        LRSchedule(factor=0.0)
+    with pytest.raises(ValueError):
+        LRSchedule(step=0)

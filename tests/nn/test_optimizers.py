@@ -1,0 +1,111 @@
+"""Optimiser update rules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam, AdamW, RMSProp, get_optimizer
+
+
+def _quadratic_descent(opt, steps=200):
+    """Minimise f(w) = ||w||² from w0; return final norm."""
+    w = np.array([3.0, -2.0])
+    for _ in range(steps):
+        opt.step([w], [2 * w])
+    return float(np.linalg.norm(w))
+
+
+@pytest.mark.parametrize(
+    "opt,tol",
+    [
+        (SGD(lr=0.05), 1e-2),
+        (SGD(lr=0.05, momentum=0.9), 1e-2),
+        (SGD(lr=0.05, momentum=0.9, nesterov=True), 1e-2),
+        (Adam(lr=0.1), 1e-2),
+        (AdamW(lr=0.1, weight_decay=0.001), 1e-2),
+        # RMSProp with constant lr limit-cycles at step-size scale.
+        (RMSProp(lr=0.01), 0.05),
+    ],
+    ids=["sgd", "sgd-mom", "sgd-nesterov", "adam", "adamw", "rmsprop"],
+)
+def test_converges_on_quadratic(opt, tol):
+    assert _quadratic_descent(opt, steps=500) < tol
+
+
+def test_sgd_plain_matches_formula():
+    opt = SGD(lr=0.1)
+    w = np.array([1.0])
+    opt.step([w], [np.array([0.5])])
+    np.testing.assert_allclose(w, [0.95])
+
+
+def test_adam_first_step_magnitude():
+    # With bias correction the first step is ~lr regardless of grad scale.
+    for scale in (1e-4, 1.0, 1e4):
+        opt = Adam(lr=0.01)
+        w = np.array([0.0])
+        opt.step([w], [np.array([scale])])
+        # eps in the denominator matters at tiny gradient scales.
+        np.testing.assert_allclose(abs(w[0]), 0.01, rtol=1e-3)
+
+
+def test_adamw_decays_without_gradient():
+    opt = AdamW(lr=0.1, weight_decay=0.5)
+    w = np.array([1.0])
+    opt.step([w], [np.array([0.0])])
+    assert w[0] < 1.0
+
+
+def test_slots_keyed_by_identity():
+    opt = Adam(lr=0.1)
+    w1, w2 = np.zeros(2), np.zeros(3)
+    opt.step([w1, w2], [np.ones(2), np.ones(3)])
+    assert len(opt._slots) == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SGD(lr=0.0)
+    with pytest.raises(ValueError):
+        SGD(momentum=1.5)
+    with pytest.raises(ValueError):
+        SGD(nesterov=True)  # needs momentum
+    with pytest.raises(ValueError):
+        Adam(beta1=1.0)
+    with pytest.raises(ValueError):
+        RMSProp(rho=-0.1)
+    with pytest.raises(ValueError):
+        AdamW(weight_decay=-1)
+    opt = SGD(lr=0.1)
+    with pytest.raises(ValueError):
+        opt.step([np.zeros(2)], [np.zeros(3)])
+    with pytest.raises(ValueError):
+        opt.step([np.zeros(2)], [])
+
+
+def test_gradient_clipping_bounds_update():
+    opt = SGD(lr=1.0, clip_norm=1.0)
+    w1, w2 = np.zeros(2), np.zeros(2)
+    opt.step([w1, w2], [np.full(2, 100.0), np.full(2, 100.0)])
+    # Global grad norm 200 clipped to 1 -> step length exactly lr * 1.
+    total_step = np.sqrt((w1**2).sum() + (w2**2).sum())
+    np.testing.assert_allclose(total_step, 1.0)
+
+
+def test_clipping_inactive_below_threshold():
+    opt = SGD(lr=0.1, clip_norm=1e9)
+    w = np.zeros(2)
+    opt.step([w], [np.ones(2)])
+    np.testing.assert_allclose(w, -0.1)
+
+
+def test_clip_norm_validation():
+    with pytest.raises(ValueError):
+        SGD(clip_norm=0.0)
+    with pytest.raises(ValueError):
+        Adam(clip_norm=-1.0)
+
+
+def test_registry():
+    assert isinstance(get_optimizer("adam", lr=0.5), Adam)
+    with pytest.raises(KeyError):
+        get_optimizer("nope")

@@ -1,0 +1,71 @@
+"""Binary balancing recipe."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.balance import balance_binary, random_undersample
+
+
+def _skewed(n=2000, minority_frac=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    y = (rng.random(n) < minority_frac).astype(float)
+    X = rng.normal(size=(n, 4)) + y[:, None] * 2.0
+    return X, y
+
+
+def test_undersample_counts():
+    idx = np.arange(100)
+    kept = random_undersample(idx, 30, seed=0)
+    assert len(kept) == 30
+    assert len(np.unique(kept)) == 30
+    np.testing.assert_array_equal(random_undersample(idx, 200, seed=0), idx)
+    with pytest.raises(ValueError):
+        random_undersample(idx, -1)
+
+
+def test_balance_produces_balanced_classes():
+    X, y = _skewed()
+    Xb, yb = balance_binary(X, y, seed=0)
+    n1, n0 = int(yb.sum()), int((1 - yb).sum())
+    # target_ratio=1: classes equal within rounding.
+    assert abs(n1 - n0) <= 1
+    assert len(Xb) == len(yb)
+
+
+def test_balance_majority_cap():
+    X, y = _skewed(minority_frac=0.05)
+    n_min = int(y.sum())
+    Xb, yb = balance_binary(X, y, undersample_majority_to=2.0, seed=0)
+    n_major = int((yb == 0).sum())
+    assert n_major == 2 * n_min
+
+
+def test_balance_adds_synthetic_minority():
+    X, y = _skewed(minority_frac=0.05)
+    Xb, yb = balance_binary(X, y, seed=0)
+    assert int((yb == 1).sum()) > int(y.sum())  # synthetic rows added
+
+
+def test_balance_noop_single_class():
+    X = np.random.default_rng(0).normal(size=(10, 2))
+    y = np.zeros(10)
+    Xb, yb = balance_binary(X, y, seed=0)
+    assert len(Xb) == 10 and yb.sum() == 0
+
+
+def test_balance_validation():
+    X, y = _skewed(n=100)
+    with pytest.raises(ValueError):
+        balance_binary(X, y + 5)
+    with pytest.raises(ValueError):
+        balance_binary(X, y, target_ratio=0.0)
+    with pytest.raises(ValueError):
+        balance_binary(X, y, undersample_majority_to=0.5)
+
+
+def test_balance_shuffled_output():
+    X, y = _skewed()
+    _, yb = balance_binary(X, y, seed=0)
+    # Labels are interleaved, not blocked.
+    changes = np.sum(yb[1:] != yb[:-1])
+    assert changes > len(yb) * 0.2

@@ -1,0 +1,79 @@
+"""SMOTE invariants, hypothesis-checked."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sampling.smote import smote_oversample
+
+
+def test_counts_and_shape():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(30, 4))
+    syn = smote_oversample(X, 100, seed=0)
+    assert syn.shape == (100, 4)
+
+
+def test_zero_requested():
+    X = np.random.default_rng(0).normal(size=(5, 2))
+    assert smote_oversample(X, 0, seed=0).shape == (0, 2)
+
+
+def test_needs_two_samples():
+    with pytest.raises(ValueError):
+        smote_oversample(np.ones((1, 2)), 5, seed=0)
+    with pytest.raises(ValueError):
+        smote_oversample(np.ones((3, 2)), -1, seed=0)
+
+
+@given(
+    seed=st.integers(0, 1000),
+    n_min=st.integers(2, 40),
+    n_syn=st.integers(1, 60),
+    k=st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_synthetic_within_bounding_box(seed, n_min, n_syn, k):
+    # Interpolation can never leave the minority bounding box.
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_min, 3)) * 10
+    syn = smote_oversample(X, n_syn, k_neighbors=k, seed=seed)
+    lo, hi = X.min(axis=0), X.max(axis=0)
+    assert np.all(syn >= lo - 1e-9)
+    assert np.all(syn <= hi + 1e-9)
+
+
+def test_synthetic_on_segments_k1():
+    # With k=1 every synthetic point lies on the segment between a point
+    # and its single nearest neighbour.
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(10, 2))
+    syn = smote_oversample(X, 200, k_neighbors=1, seed=2)
+    # Verify each synthetic point is collinear with SOME pair of minority
+    # points (necessary condition of the construction).
+    ok = np.zeros(len(syn), dtype=bool)
+    for a in range(len(X)):
+        for b in range(len(X)):
+            if a == b:
+                continue
+            d = X[b] - X[a]
+            t = (syn - X[a]) @ d / (d @ d)
+            proj = X[a] + np.clip(t, 0, 1)[:, None] * d
+            ok |= np.linalg.norm(syn - proj, axis=1) < 1e-9
+    assert ok.all()
+
+
+def test_reproducible():
+    X = np.random.default_rng(0).normal(size=(20, 3))
+    a = smote_oversample(X, 50, seed=7)
+    b = smote_oversample(X, 50, seed=7)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_preserves_minority_distribution_roughly():
+    rng = np.random.default_rng(0)
+    X = rng.normal(5.0, 2.0, size=(500, 1))
+    syn = smote_oversample(X, 5000, seed=1)
+    assert abs(syn.mean() - X.mean()) < 0.5
+    assert abs(syn.std() - X.std()) < 0.5

@@ -1,0 +1,27 @@
+"""sacct-style rendering."""
+
+from repro.slurm.accounting import format_sacct, sacct_lines
+
+
+def test_header_and_limit(trace_jobs):
+    text = format_sacct(trace_jobs, limit=5)
+    lines = text.splitlines()
+    assert lines[0].startswith("JobID|User|Partition|State")
+    assert len(lines) == 6
+
+
+def test_fields_parse(trace_jobs):
+    lines = list(sacct_lines(trace_jobs, limit=3))
+    for line in lines[1:]:
+        fields = line.split("|")
+        assert len(fields) == 13
+        assert fields[2] in trace_jobs.partition_names
+        assert fields[3] in {"COMPLETED", "FAILED", "TIMEOUT", "CANCELLED"}
+
+
+def test_duration_format(trace_jobs):
+    from repro.slurm.accounting import _fmt_minutes
+
+    assert _fmt_minutes(90.0) == "01:30:00"
+    assert _fmt_minutes(24 * 60.0) == "1-00:00:00"
+    assert _fmt_minutes(0.5) == "00:00:30"

@@ -1,0 +1,69 @@
+"""Fair-share decay and factor semantics."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.fairshare import FairShareTracker
+
+
+def test_fresh_tracker_gives_everyone_factor_one():
+    t = FairShareTracker(4)
+    np.testing.assert_allclose(t.factors(np.arange(4), 0.0), 1.0)
+
+
+def test_heavy_user_sinks():
+    t = FairShareTracker(3)
+    t.add_usage(0, 1e6, t=0.0)
+    f = t.factors(np.arange(3), 0.0)
+    assert f[0] < f[1] == f[2]
+    assert 0 < f[0] < 1
+
+
+def test_usage_decays_with_half_life():
+    t = FairShareTracker(2, half_life_s=100.0)
+    t.add_usage(0, 1000.0, t=0.0)
+    u = t.usage(t=100.0)
+    np.testing.assert_allclose(u[0], 500.0)
+    u = t.usage(t=300.0)
+    np.testing.assert_allclose(u[0], 125.0)
+
+
+def test_factor_recovers_after_decay():
+    t = FairShareTracker(2, half_life_s=10.0)
+    t.add_usage(0, 1e6, t=0.0)
+    early = t.factors(np.array([0]), 0.0)[0]
+    # Relative share stays 100% of a shrinking total, so pit user 1's tiny
+    # later usage against it: after many half-lives user 0's absolute usage
+    # is negligible vs user 1's fresh usage.
+    t.add_usage(1, 1e6, t=200.0)
+    late = t.factors(np.array([0]), 200.0)[0]
+    assert late > early
+
+
+def test_time_cannot_go_backwards():
+    t = FairShareTracker(1)
+    t.add_usage(0, 1.0, t=100.0)
+    with pytest.raises(ValueError, match="backwards"):
+        t.add_usage(0, 1.0, t=50.0)
+
+
+def test_shares_weighting():
+    shares = np.array([3.0, 1.0])
+    t = FairShareTracker(2, shares=shares)
+    t.add_usage(0, 500.0, t=0.0)
+    t.add_usage(1, 500.0, t=0.0)
+    f = t.factors(np.array([0, 1]), 0.0)
+    # Equal usage but user 0 owns 3x the shares -> better factor.
+    assert f[0] > f[1]
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        FairShareTracker(0)
+    with pytest.raises(ValueError):
+        FairShareTracker(2, half_life_s=0)
+    with pytest.raises(ValueError):
+        FairShareTracker(2, shares=np.array([1.0, -1.0]))
+    t = FairShareTracker(1)
+    with pytest.raises(ValueError):
+        t.add_usage(0, -5.0, t=0.0)

@@ -1,0 +1,152 @@
+"""Node-level placement: fragmentation semantics the aggregate ledger
+cannot express, plus the node-level simulator mode."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.nodes import NodeLedger
+from repro.slurm.resources import Cluster, NodePool, Partition
+from repro.slurm.simulator import Simulator
+from tests.slurm.test_simulator import make_subs
+
+
+def _pool(n=4, cpus=8, mem=16.0, gpus=0):
+    return NodePool("p", n_nodes=n, cpus_per_node=cpus, mem_gb_per_node=mem, gpus_per_node=gpus)
+
+
+def test_simple_place_release_roundtrip():
+    led = NodeLedger(_pool())
+    alloc = led.place(8, 4.0, 0, req_nodes=2, exclusive=False)
+    assert len(alloc.node_ids) == 2
+    np.testing.assert_allclose(alloc.cpus.sum(), 8)
+    np.testing.assert_allclose(alloc.mem.sum(), 4.0)
+    led.release(alloc)
+    np.testing.assert_allclose(led.free_cpus, 8.0)
+    np.testing.assert_allclose(led.free_mem, 16.0)
+
+
+def test_fragmentation_blocks_single_node_job():
+    """Aggregate capacity suffices but no single node can host the job."""
+    led = NodeLedger(_pool(n=4, cpus=8))
+    # Take 6 CPUs on every node: 8 free CPUs total, max 2 on one node.
+    for _ in range(4):
+        led.place(6, 1.0, 0, req_nodes=1, exclusive=False)
+    assert led.free_cpus.sum() == 8
+    assert not led.can_place(4, 1.0, 0, req_nodes=1, exclusive=False)
+    assert led.can_place(2, 1.0, 0, req_nodes=1, exclusive=False)
+    # Spread across 4 nodes it fits again.
+    assert led.can_place(8, 1.0, 0, req_nodes=4, exclusive=False)
+
+
+def test_exclusive_requires_fully_free_nodes():
+    led = NodeLedger(_pool(n=3, cpus=8))
+    led.place(1, 0.5, 0, req_nodes=1, exclusive=False)  # dirties one node
+    assert led.can_place(16, 1.0, 0, req_nodes=2, exclusive=True)
+    assert not led.can_place(24, 1.0, 0, req_nodes=3, exclusive=True)
+    alloc = led.place(16, 32.0, 0, req_nodes=2, exclusive=True)
+    # Whole nodes are consumed regardless of the request size.
+    np.testing.assert_allclose(alloc.cpus, 8.0)
+
+
+def test_packing_prefers_loaded_nodes():
+    led = NodeLedger(_pool(n=3, cpus=8))
+    led.place(5, 1.0, 0, req_nodes=1, exclusive=False)  # node A: 3 free
+    a1 = led.place(2, 1.0, 0, req_nodes=1, exclusive=False)
+    # The 2-CPU job should land on the busy node, keeping two nodes clean.
+    fully_free = (led.free_cpus >= 8 - 1e-9).sum()
+    assert fully_free == 2
+    assert a1.node_ids[0] == 0 or led.free_cpus[a1.node_ids[0]] < 8
+
+
+def test_place_infeasible_raises():
+    led = NodeLedger(_pool(n=1, cpus=4))
+    with pytest.raises(RuntimeError, match="no feasible"):
+        led.place(8, 1.0, 0, req_nodes=1, exclusive=False)
+    assert not led.can_place(1, 1.0, 0, req_nodes=2, exclusive=False)
+
+
+def test_gpu_placement():
+    led = NodeLedger(_pool(n=2, cpus=8, gpus=4))
+    alloc = led.place(4, 2.0, 4, req_nodes=1, exclusive=False)
+    assert led.free_gpus[alloc.node_ids[0]] == 0
+    assert not led.can_place(1, 1.0, 8, req_nodes=1, exclusive=False)
+
+
+def _frag_cluster():
+    pool = NodePool("p", n_nodes=2, cpus_per_node=10, mem_gb_per_node=100.0)
+    return Cluster(
+        "frag",
+        [pool],
+        [Partition("open", pool="p"), Partition("whole", pool="p", exclusive=True)],
+    )
+
+
+def test_simulator_node_level_fragmentation():
+    """Two 6-CPU jobs fill both nodes partially; a 8-CPU single-node job
+    must wait in node-level mode but not in aggregate mode."""
+    rows = [
+        dict(job_id=1, submit_time=0.0, req_cpus=6, req_nodes=1,
+             timelimit_min=60.0, runtime_min=60.0),
+        dict(job_id=2, submit_time=0.0, req_cpus=6, req_nodes=1,
+             timelimit_min=60.0, runtime_min=60.0),
+        dict(job_id=3, submit_time=1.0, req_cpus=8, req_nodes=1,
+             timelimit_min=10.0, runtime_min=10.0),
+    ]
+    agg = Simulator(_frag_cluster(), n_users=2, node_level=False).run(make_subs(rows))
+    node = Simulator(_frag_cluster(), n_users=2, node_level=True).run(make_subs(rows))
+    q_agg = {int(j): float(v) for j, v in zip(agg.jobs.column("job_id"), agg.queue_time_min)}
+    q_node = {int(j): float(v) for j, v in zip(node.jobs.column("job_id"), node.queue_time_min)}
+    assert q_agg[3] == 0.0  # aggregate view: 8 CPUs free in total
+    assert q_node[3] > 0.0  # node view: max 4 free on any node -> waits
+
+
+def test_simulator_node_level_exclusive_partition():
+    """An exclusive-partition job must wait for a fully free node."""
+    rows = [
+        dict(job_id=1, submit_time=0.0, partition=0, req_cpus=1, req_nodes=1,
+             timelimit_min=30.0, runtime_min=30.0),
+        dict(job_id=2, submit_time=0.0, partition=0, req_cpus=1, req_nodes=1,
+             timelimit_min=30.0, runtime_min=30.0),
+        dict(job_id=3, submit_time=1.0, partition=1, req_cpus=20, req_nodes=2,
+             timelimit_min=10.0, runtime_min=10.0),
+    ]
+    # In node-level mode the two 1-CPU jobs pack onto ONE node (most-loaded
+    # first), leaving a free node — but the exclusive job needs two.
+    node = Simulator(_frag_cluster(), n_users=2, node_level=True).run(make_subs(rows))
+    q = {int(j): float(v) for j, v in zip(node.jobs.column("job_id"), node.queue_time_min)}
+    assert q[3] >= 29.0  # waits for the packed node to clear
+
+
+def test_node_level_trace_invariants():
+    rng = np.random.default_rng(0)
+    rows = []
+    for i in range(80):
+        nodes = int(rng.choice([1, 1, 2]))
+        # Keep the per-node share placeable (10 CPUs per node).
+        cpus = int(rng.choice([2, 5, 10])) * nodes
+        rows.append(
+            dict(
+                job_id=i + 1,
+                user_id=int(rng.integers(0, 3)),
+                submit_time=float(i * 60),
+                req_cpus=cpus,
+                req_nodes=nodes,
+                timelimit_min=float(rng.choice([10, 60])),
+                runtime_min=float(rng.uniform(1, 50)),
+            )
+        )
+    res = Simulator(_frag_cluster(), n_users=3, node_level=True).run(make_subs(rows))
+    res.jobs.validate()
+    assert np.all(res.queue_time_min >= 0)
+
+
+def test_node_level_validation_rejects_unplaceable():
+    rows = [
+        dict(job_id=1, submit_time=0.0, req_cpus=20, req_nodes=1,
+             timelimit_min=10.0, runtime_min=1.0),
+    ]
+    # Aggregate mode accepts (20 <= 2x10 total CPUs)...
+    Simulator(_frag_cluster(), n_users=1, node_level=False).run(make_subs(rows))
+    # ...node-level mode rejects: one node can never host 20 CPUs.
+    with pytest.raises(ValueError, match="unsatisfiable"):
+        Simulator(_frag_cluster(), n_users=1, node_level=True).run(make_subs(rows))

@@ -1,0 +1,62 @@
+"""Hypothesis properties of the node ledger: conservation and bounds."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.slurm.nodes import NodeLedger
+from repro.slurm.resources import NodePool
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(1, 16),  # cpus
+            st.floats(0.5, 32.0),  # mem
+            st.integers(1, 2),  # nodes
+            st.booleans(),  # exclusive
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_place_release_conserves_resources(ops, seed):
+    pool = NodePool("p", n_nodes=4, cpus_per_node=16, mem_gb_per_node=32.0)
+    led = NodeLedger(pool)
+    rng = np.random.default_rng(seed)
+    live = []
+    for cpus, mem, nodes, exclusive in ops:
+        # Randomly release something first to mix the sequence.
+        if live and rng.random() < 0.4:
+            led.release(live.pop(rng.integers(0, len(live))))
+        if led.can_place(cpus, mem, 0, nodes, exclusive):
+            live.append(led.place(cpus, mem, 0, nodes, exclusive))
+        # Invariants hold at every step.
+        assert led.free_cpus.min() >= -1e-9
+        assert led.free_mem.min() >= -1e-9
+        assert led.free_cpus.max() <= 16 + 1e-9
+        assert led.free_mem.max() <= 32 + 1e-9
+    for alloc in live:
+        led.release(alloc)
+    np.testing.assert_allclose(led.free_cpus, 16.0)
+    np.testing.assert_allclose(led.free_mem, 32.0)
+
+
+@given(
+    cpus=st.integers(1, 64),
+    nodes=st.integers(1, 4),
+)
+@settings(max_examples=50, deadline=None)
+def test_split_allocations_sum_exactly(cpus, nodes):
+    pool = NodePool("p", n_nodes=4, cpus_per_node=16, mem_gb_per_node=64.0)
+    led = NodeLedger(pool)
+    if not led.can_place(cpus, 8.0, 0, nodes, exclusive=False):
+        return
+    alloc = led.place(cpus, 8.0, 0, nodes, exclusive=False)
+    assert len(np.unique(alloc.node_ids)) == max(nodes, 1)
+    np.testing.assert_allclose(alloc.cpus.sum(), cpus)
+    np.testing.assert_allclose(alloc.mem.sum(), 8.0)
+    # Integral CPU shares.
+    np.testing.assert_allclose(alloc.cpus, np.round(alloc.cpus))

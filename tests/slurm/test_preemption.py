@@ -1,0 +1,126 @@
+"""QOS-based requeue preemption."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.simulator import PreemptionPolicy, Simulator
+from tests.slurm.test_simulator import make_subs, tiny_cluster
+
+
+def run(rows, preemption=None, cpus=100):
+    sim = Simulator(tiny_cluster(cpus=cpus), n_users=4, preemption=preemption)
+    return sim.run(make_subs(rows))
+
+
+def _saturating_scenario():
+    """Low-QOS job hogs the machine; a high-QOS job arrives later."""
+    return [
+        dict(job_id=1, submit_time=0.0, req_cpus=100, qos=0,
+             timelimit_min=600.0, runtime_min=600.0),
+        dict(job_id=2, submit_time=60.0, req_cpus=100, qos=2,
+             timelimit_min=30.0, runtime_min=30.0),
+    ]
+
+
+def test_preemption_disabled_by_default():
+    res = run(_saturating_scenario())
+    rec = res.jobs.sort_by("job_id").records
+    # Without preemption the high-QOS job waits for the hog to finish.
+    assert rec["start_time"][1] == 600 * 60.0
+    assert res.n_preemptions == 0
+
+
+def test_high_qos_preempts_low_qos():
+    res = run(_saturating_scenario(), PreemptionPolicy(min_preemptor_qos=2))
+    rec = res.jobs.sort_by("job_id").records
+    # The preemptor starts immediately at its eligibility.
+    assert rec["start_time"][1] == 60.0
+    assert res.n_preemptions == 1
+    # The victim restarts from scratch after the preemptor finishes and
+    # still completes its full runtime.
+    assert rec["start_time"][0] >= rec["end_time"][1]
+    np.testing.assert_allclose(
+        rec["end_time"][0] - rec["start_time"][0], 600 * 60.0
+    )
+
+
+def test_equal_qos_cannot_preempt():
+    rows = _saturating_scenario()
+    rows[0]["qos"] = 2  # same as the would-be preemptor
+    res = run(rows, PreemptionPolicy(min_preemptor_qos=2))
+    rec = res.jobs.sort_by("job_id").records
+    assert res.n_preemptions == 0
+    assert rec["start_time"][1] == 600 * 60.0
+
+
+def test_below_threshold_qos_cannot_preempt():
+    rows = _saturating_scenario()
+    rows[1]["qos"] = 1  # normal QOS: no preempt rights
+    res = run(rows, PreemptionPolicy(min_preemptor_qos=2))
+    assert res.n_preemptions == 0
+
+
+def test_victim_selection_most_recent_first():
+    # Two low-QOS jobs running; preemptor needs only half the machine, so
+    # only the most recently started victim should be evicted.
+    rows = [
+        dict(job_id=1, submit_time=0.0, req_cpus=50, qos=0,
+             timelimit_min=600.0, runtime_min=600.0),
+        dict(job_id=2, submit_time=10.0, req_cpus=50, qos=0,
+             timelimit_min=600.0, runtime_min=600.0),
+        dict(job_id=3, submit_time=60.0, req_cpus=50, qos=2,
+             timelimit_min=30.0, runtime_min=30.0),
+    ]
+    res = run(rows, PreemptionPolicy(min_preemptor_qos=2))
+    rec = res.jobs.sort_by("job_id").records
+    assert res.n_preemptions == 1
+    assert rec["start_time"][2] == 60.0  # preemptor in immediately
+    assert rec["start_time"][0] == 0.0  # earlier job untouched
+    assert rec["start_time"][1] > 60.0  # later job was the victim
+
+
+def test_preempted_work_charged_to_fairshare():
+    sim = Simulator(
+        tiny_cluster(), n_users=4, preemption=PreemptionPolicy(min_preemptor_qos=2)
+    )
+    res = sim.run(make_subs(_saturating_scenario()))
+    assert res.n_preemptions == 1
+    # User 0 ran 0..60 s before eviction plus the full rerun; usage must
+    # exceed the rerun alone.
+    usage = sim.fairshare.usage()
+    assert usage[0] > 0
+
+
+def test_trace_invariants_hold_under_preemption():
+    rng = np.random.default_rng(0)
+    rows = []
+    for i in range(60):
+        rows.append(
+            dict(
+                job_id=i + 1,
+                user_id=int(rng.integers(0, 4)),
+                submit_time=float(i * 120),
+                req_cpus=int(rng.choice([25, 50, 100])),
+                qos=int(rng.choice([0, 1, 2], p=[0.3, 0.5, 0.2])),
+                timelimit_min=float(rng.choice([30, 120, 600])),
+                runtime_min=float(rng.uniform(5, 300)),
+            )
+        )
+    res = run(rows, PreemptionPolicy(min_preemptor_qos=2))
+    res.jobs.validate()
+    assert np.all(res.queue_time_min >= 0)
+    # Capacity never exceeded despite requeues.
+    rec = res.jobs.records
+    ts = np.concatenate([rec["start_time"], rec["end_time"]])
+    deltas = np.concatenate(
+        [rec["req_cpus"].astype(float), -rec["req_cpus"].astype(float)]
+    )
+    order = np.lexsort((deltas, ts))
+    assert np.cumsum(deltas[order]).max() <= 100 + 1e-6
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        PreemptionPolicy(min_preemptor_qos=0)
+    with pytest.raises(ValueError):
+        PreemptionPolicy(max_victims_per_pass=0)

@@ -1,0 +1,93 @@
+"""Multifactor priority behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.anvil import anvil_cluster
+from repro.slurm.fairshare import FairShareTracker
+from repro.slurm.priority import MultifactorPriority, PriorityWeights
+
+
+def _engine(weights=None):
+    c = anvil_cluster(0.05)
+    fs = FairShareTracker(4)
+    return c, fs, MultifactorPriority(c, fs, weights)
+
+
+def _compute(engine, t, **over):
+    base = dict(
+        eligible_time=np.zeros(1),
+        user_ids=np.zeros(1, dtype=int),
+        partitions=np.zeros(1, dtype=int),
+        req_cpus=np.ones(1),
+        qos=np.ones(1),
+    )
+    base.update(over)
+    return engine.compute(t, **base)
+
+
+def test_age_increases_priority_until_saturation():
+    _, _, eng = _engine()
+    young = _compute(eng, t=0.0)[0]
+    old = _compute(eng, t=24 * 3600.0)[0]
+    saturated = _compute(eng, t=10 * 24 * 3600.0)[0]
+    assert young < old < saturated
+    very_saturated = _compute(eng, t=20 * 24 * 3600.0)[0]
+    np.testing.assert_allclose(saturated, very_saturated)
+
+
+def test_fairshare_term_orders_users():
+    c, fs, eng = _engine()
+    fs.add_usage(0, 1e7, t=0.0)
+    p = eng.compute(
+        0.0,
+        eligible_time=np.zeros(2),
+        user_ids=np.array([0, 1]),
+        partitions=np.zeros(2, dtype=int),
+        req_cpus=np.ones(2),
+        qos=np.ones(2),
+    )
+    assert p[0] < p[1]
+
+
+def test_partition_tier_bonus():
+    c, _, eng = _engine()
+    debug = c.partition_id("debug")
+    shared = c.partition_id("shared")
+    p = eng.compute(
+        0.0,
+        eligible_time=np.zeros(2),
+        user_ids=np.zeros(2, dtype=int),
+        partitions=np.array([debug, shared]),
+        req_cpus=np.ones(2),
+        qos=np.ones(2),
+    )
+    assert p[0] > p[1]
+
+
+def test_job_size_favours_wide_jobs():
+    _, _, eng = _engine()
+    p = _compute(eng, 0.0, req_cpus=np.array([1.0]))
+    q = _compute(eng, 0.0, req_cpus=np.array([10_000.0]))
+    assert q[0] > p[0]
+
+
+def test_qos_term():
+    _, _, eng = _engine()
+    lo = _compute(eng, 0.0, qos=np.zeros(1))
+    hi = _compute(eng, 0.0, qos=np.full(1, 2.0))
+    assert hi[0] > lo[0]
+
+
+def test_weights_validation():
+    with pytest.raises(ValueError):
+        PriorityWeights(age=-1.0)
+    with pytest.raises(ValueError):
+        PriorityWeights(max_age_s=0.0)
+
+
+def test_zero_weight_disables_term():
+    _, _, eng = _engine(PriorityWeights(age=0.0))
+    young = _compute(eng, t=0.0)[0]
+    old = _compute(eng, t=5 * 24 * 3600.0)[0]
+    np.testing.assert_allclose(young, old)

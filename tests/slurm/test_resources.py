@@ -1,0 +1,88 @@
+"""Cluster/pool/partition model."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.anvil import ANVIL_PARTITIONS, anvil_cluster
+from repro.slurm.resources import Cluster, NodePool, Partition
+
+
+def test_pool_totals():
+    p = NodePool("cpu", n_nodes=10, cpus_per_node=128, mem_gb_per_node=256.0, gpus_per_node=2)
+    assert p.total_cpus == 1280
+    assert p.total_mem_gb == 2560.0
+    assert p.total_gpus == 20
+
+
+def test_pool_validation():
+    with pytest.raises(ValueError):
+        NodePool("bad", 0, 128, 256.0)
+    with pytest.raises(ValueError):
+        NodePool("bad", 2, 128, -1.0)
+
+
+def test_anvil_shape():
+    c = anvil_cluster(scale=1.0)
+    assert c.partition_names == ANVIL_PARTITIONS
+    assert len(c.pools) == 3
+    shared = c.partition("shared")
+    gpu = c.partition("gpu")
+    assert shared.pool == "cpu" and gpu.pool == "gpu"
+    # debug partition jumps the queue via its tier
+    assert c.partition("debug").priority_tier > shared.priority_tier
+
+
+def test_anvil_scaling():
+    small = anvil_cluster(scale=0.05)
+    big = anvil_cluster(scale=1.0)
+    assert small.pools[0].n_nodes < big.pools[0].n_nodes
+    assert small.pools[0].cpus_per_node == big.pools[0].cpus_per_node
+    with pytest.raises(ValueError):
+        anvil_cluster(scale=0)
+
+
+def test_partition_lookup_and_errors():
+    c = anvil_cluster(0.05)
+    assert c.partition_id("shared") == 0
+    assert c.partition(0).name == "shared"
+    with pytest.raises(KeyError):
+        c.partition_id("nope")
+    with pytest.raises(KeyError):
+        c.pool_id("nope")
+
+
+def test_partition_pool_ids_and_specs():
+    c = anvil_cluster(0.05)
+    pool_ids = c.partition_pool_ids()
+    assert len(pool_ids) == len(c.partitions)
+    specs = c.partition_specs()
+    shared = c.partition_id("shared")
+    gpu = c.partition_id("gpu")
+    assert specs["total_gpus"][shared] == 0
+    assert specs["total_gpus"][gpu] > 0
+    assert specs["cpus_per_node"][shared] == 128
+
+
+def test_duplicate_names_rejected():
+    pool = NodePool("p", 2, 4, 8.0)
+    with pytest.raises(ValueError):
+        Cluster("c", [pool, pool], [])
+    with pytest.raises(ValueError):
+        Cluster("c", [pool], [Partition("a", "p"), Partition("a", "p")])
+    with pytest.raises(ValueError):
+        Cluster("c", [pool], [Partition("a", "nope")])
+
+
+def test_validate_request():
+    c = anvil_cluster(0.05)
+    c.validate_request("shared", req_cpus=4, req_mem_gb=8.0, req_nodes=1)
+    with pytest.raises(ValueError, match="exceeds pool"):
+        c.validate_request("gpu", req_cpus=10**6, req_mem_gb=1.0, req_nodes=1)
+    with pytest.raises(ValueError, match="caps jobs"):
+        c.validate_request("shared", req_cpus=4, req_mem_gb=8.0, req_nodes=5)
+    with pytest.raises(ValueError, match="timelimit"):
+        c.validate_request(
+            "debug", req_cpus=1, req_mem_gb=1.0, req_nodes=1, timelimit_min=10_000
+        )
+    with pytest.raises(ValueError, match="positive"):
+        c.validate_request("shared", req_cpus=0, req_mem_gb=1.0, req_nodes=1)

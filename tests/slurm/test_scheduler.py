@@ -1,0 +1,28 @@
+"""PoolLedger and BackfillScheduler unit behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.scheduler import PoolLedger
+
+
+def test_ledger_fits_and_allocates():
+    led = PoolLedger(100.0, 200.0, 4.0)
+    assert led.fits(100, 200, 4)
+    assert not led.fits(101, 1, 0)
+    led.allocate(60, 100, 2)
+    assert led.free_cpus == 40.0
+    led.release(60, 100, 2)
+    assert led.free_cpus == 100.0
+
+
+def test_ledger_overallocation_detected():
+    led = PoolLedger(10.0, 10.0, 0.0)
+    with pytest.raises(RuntimeError, match="over-allocated"):
+        led.allocate(20, 1, 0)
+
+
+def test_ledger_float_tolerance():
+    led = PoolLedger(1.0, 1.0, 0.0)
+    # Requests equal to capacity within epsilon must fit.
+    assert led.fits(1.0 + 1e-12, 1.0, 0.0)

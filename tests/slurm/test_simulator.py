@@ -1,0 +1,194 @@
+"""Event-driven simulator: deterministic scheduling scenarios + global
+invariants on the session trace."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import JobState
+from repro.slurm.priority import PriorityWeights
+from repro.slurm.resources import Cluster, NodePool, Partition
+from repro.slurm.simulator import SUBMISSION_DTYPE, Simulator
+
+
+def tiny_cluster(cpus=100, mem=1000.0):
+    pool = NodePool("p", n_nodes=1, cpus_per_node=cpus, mem_gb_per_node=mem)
+    return Cluster("tiny", [pool], [Partition("q", pool="p")])
+
+
+def make_subs(rows):
+    """rows: list of dicts with job fields; returns a SUBMISSION_DTYPE array."""
+    out = np.zeros(len(rows), dtype=SUBMISSION_DTYPE)
+    out["req_nodes"] = 1
+    out["req_mem_gb"] = 1.0
+    out["qos"] = 1
+    for i, row in enumerate(rows):
+        out["job_id"][i] = row.get("job_id", i + 1)
+        for k, v in row.items():
+            out[k][i] = v
+        out["eligible_time"][i] = row.get("eligible_time", row.get("submit_time", 0.0))
+    return out
+
+
+def run(cluster, rows, n_users=4, **kw):
+    sim = Simulator(cluster, n_users=n_users, **kw)
+    return sim.run(make_subs(rows))
+
+
+def test_single_job_starts_immediately():
+    res = run(
+        tiny_cluster(),
+        [dict(submit_time=5.0, req_cpus=10, timelimit_min=60.0, runtime_min=30.0)],
+    )
+    rec = res.jobs.records
+    assert rec["start_time"][0] == 5.0
+    assert rec["end_time"][0] == 5.0 + 30 * 60
+    assert res.queue_time_min[0] == 0.0
+
+
+def test_fifo_under_saturation_uses_actual_runtime():
+    # Both jobs need the whole pool; the second starts when the first
+    # actually ends (10 min), not at its 60-min limit.
+    res = run(
+        tiny_cluster(),
+        [
+            dict(submit_time=0.0, req_cpus=100, timelimit_min=60.0, runtime_min=10.0),
+            dict(submit_time=1.0, req_cpus=100, timelimit_min=60.0, runtime_min=10.0),
+        ],
+    )
+    rec = res.jobs.records
+    second = np.argmax(rec["job_id"] == 2)
+    assert rec["start_time"][second] == 10 * 60.0
+
+
+def test_backfill_small_short_job_jumps_blocked_head():
+    # A (60 cpus) runs 0..100min.  B (80 cpus) blocks at t=1 with shadow at
+    # A's expected end.  C (20 cpus, 50 min limit) finishes before the
+    # shadow and backfills immediately; B still starts at A's actual end.
+    res = run(
+        tiny_cluster(),
+        [
+            dict(job_id=1, submit_time=0.0, req_cpus=60, timelimit_min=100.0, runtime_min=100.0),
+            dict(job_id=2, submit_time=60.0, req_cpus=80, timelimit_min=30.0, runtime_min=30.0),
+            dict(job_id=3, submit_time=61.0, req_cpus=20, timelimit_min=50.0, runtime_min=50.0),
+        ],
+    )
+    rec = res.jobs.records
+    t = {int(j): float(s) for j, s in zip(rec["job_id"], rec["start_time"])}
+    assert t[3] == 61.0  # backfilled right away
+    assert t[2] == 100 * 60.0  # blocked head waits for A
+
+
+def test_backfill_respects_reservation():
+    # Same as above but C's limit (200 min) overruns the shadow and C's 50
+    # cpus exceed the 40-cpu extra, so C must NOT start before B.
+    res = run(
+        tiny_cluster(),
+        [
+            dict(job_id=1, submit_time=0.0, req_cpus=60, timelimit_min=100.0, runtime_min=100.0),
+            dict(job_id=2, submit_time=60.0, req_cpus=60, timelimit_min=30.0, runtime_min=30.0),
+            dict(job_id=3, submit_time=61.0, req_cpus=41, timelimit_min=200.0, runtime_min=200.0),
+        ],
+    )
+    rec = res.jobs.records
+    t = {int(j): float(s) for j, s in zip(rec["job_id"], rec["start_time"])}
+    assert t[3] >= t[2]
+
+
+def test_eligibility_delay_honoured():
+    res = run(
+        tiny_cluster(),
+        [
+            dict(
+                submit_time=0.0,
+                eligible_time=600.0,
+                req_cpus=1,
+                timelimit_min=10.0,
+                runtime_min=5.0,
+            )
+        ],
+    )
+    assert res.jobs.records["start_time"][0] == 600.0
+    assert res.queue_time_min[0] == 0.0  # measured from eligibility
+
+
+def test_timeout_state_and_clipping():
+    res = run(
+        tiny_cluster(),
+        [dict(submit_time=0.0, req_cpus=1, timelimit_min=10.0, runtime_min=99.0)],
+    )
+    rec = res.jobs.records
+    assert rec["state"][0] == int(JobState.TIMEOUT)
+    assert rec["end_time"][0] - rec["start_time"][0] == 10 * 60.0
+
+
+def test_failed_state_propagates():
+    res = run(
+        tiny_cluster(),
+        [dict(submit_time=0.0, req_cpus=1, timelimit_min=10.0, runtime_min=1.0, fail=1)],
+    )
+    assert res.jobs.records["state"][0] == int(JobState.FAILED)
+
+
+def test_unsatisfiable_request_rejected():
+    with pytest.raises(ValueError, match="unsatisfiable"):
+        run(
+            tiny_cluster(cpus=10),
+            [dict(submit_time=0.0, req_cpus=11, timelimit_min=10.0, runtime_min=1.0)],
+        )
+
+
+def test_wrong_dtype_rejected():
+    sim = Simulator(tiny_cluster(), n_users=1)
+    with pytest.raises(TypeError):
+        sim.run(np.zeros(3))
+
+
+def test_priority_orders_equal_time_jobs():
+    # Two jobs eligible at the same instant competing for the last slot:
+    # the high-QOS one wins.
+    res = run(
+        tiny_cluster(cpus=10),
+        [
+            dict(job_id=1, submit_time=0.0, req_cpus=10, timelimit_min=10.0, runtime_min=10.0),
+            dict(job_id=2, submit_time=5.0, req_cpus=10, qos=0, timelimit_min=10.0, runtime_min=1.0),
+            dict(job_id=3, submit_time=5.0, req_cpus=10, qos=2, timelimit_min=10.0, runtime_min=1.0),
+        ],
+    )
+    rec = res.jobs.records
+    t = {int(j): float(s) for j, s in zip(rec["job_id"], rec["start_time"])}
+    assert t[3] < t[2]
+
+
+def _capacity_profile(jobs, cluster):
+    """Max simultaneous CPU usage per pool from the accounting records."""
+    pool_ids = cluster.partition_pool_ids()
+    rec = jobs.records
+    for pool_idx, pool in enumerate(cluster.pools):
+        mask = pool_ids[rec["partition"].astype(np.intp)] == pool_idx
+        if not mask.any():
+            continue
+        starts = rec["start_time"][mask]
+        ends = rec["end_time"][mask]
+        cpus = rec["req_cpus"][mask].astype(np.float64)
+        ts = np.concatenate([starts, ends])
+        deltas = np.concatenate([cpus, -cpus])
+        order = np.lexsort((deltas, ts))  # releases before grabs at ties
+        usage = np.cumsum(deltas[order])
+        yield pool.name, float(usage.max()), pool.total_cpus
+
+
+def test_capacity_never_exceeded_on_session_trace(small_trace):
+    result, cluster = small_trace
+    for name, peak, cap in _capacity_profile(result.jobs, cluster):
+        assert peak <= cap + 1e-6, f"pool {name} oversubscribed: {peak} > {cap}"
+
+
+def test_session_trace_invariants(small_trace):
+    result, _ = small_trace
+    jobs = result.jobs
+    jobs.validate()
+    assert np.all(result.queue_time_min >= 0)
+    assert np.all(result.priorities_at_eligibility > 0)
+    # Trace is eligibility-ordered.
+    elig = jobs.column("eligible_time")
+    assert np.all(np.diff(elig) >= 0)

@@ -1,0 +1,74 @@
+"""Hypothesis property tests for the scheduler/simulator.
+
+Random small scenarios (with and without preemption) must always satisfy
+the physical invariants: capacity is never exceeded, no job starts before
+its eligibility, every job runs exactly its effective runtime, and the
+trace validates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import JobState
+from repro.slurm.simulator import PreemptionPolicy, Simulator
+from tests.slurm.test_simulator import make_subs, tiny_cluster
+
+job_strategy = st.fixed_dictionaries(
+    {
+        "user_id": st.integers(0, 3),
+        "submit_time": st.floats(0, 5000),
+        "req_cpus": st.sampled_from([1, 10, 25, 50, 100]),
+        "qos": st.integers(0, 2),
+        "timelimit_min": st.sampled_from([5.0, 30.0, 120.0]),
+        "runtime_min": st.floats(0.1, 120.0),
+    }
+)
+
+
+def _run_scenario(rows, preemption):
+    for i, r in enumerate(rows):
+        r["job_id"] = i + 1
+    sim = Simulator(tiny_cluster(cpus=100), n_users=4, preemption=preemption)
+    return sim.run(make_subs(rows)), rows
+
+
+@given(rows=st.lists(job_strategy, min_size=1, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_invariants_without_preemption(rows):
+    res, rows = _run_scenario([dict(r) for r in rows], preemption=None)
+    _check_invariants(res, rows)
+
+
+@given(rows=st.lists(job_strategy, min_size=1, max_size=25))
+@settings(max_examples=30, deadline=None)
+def test_invariants_with_preemption(rows):
+    res, rows = _run_scenario(
+        [dict(r) for r in rows], preemption=PreemptionPolicy(min_preemptor_qos=2)
+    )
+    _check_invariants(res, rows)
+
+
+def _check_invariants(res, rows):
+    jobs = res.jobs
+    jobs.validate()
+    rec = jobs.records
+    # Started at or after eligibility.
+    assert np.all(rec["start_time"] >= rec["eligible_time"] - 1e-6)
+    # Each job's final interval is exactly min(runtime, timelimit).
+    intended = {r["job_id"]: min(r["runtime_min"], r["timelimit_min"]) for r in rows}
+    for jid, start, end in zip(rec["job_id"], rec["start_time"], rec["end_time"]):
+        np.testing.assert_allclose(
+            (end - start) / 60.0, intended[int(jid)], atol=1e-6
+        )
+    # Capacity respected at every instant.
+    ts = np.concatenate([rec["start_time"], rec["end_time"]])
+    deltas = np.concatenate(
+        [rec["req_cpus"].astype(float), -rec["req_cpus"].astype(float)]
+    )
+    order = np.lexsort((deltas, ts))
+    assert np.cumsum(deltas[order]).max() <= 100 + 1e-6
+    # TIMEOUT iff the job ran out its limit.
+    ran_full = (rec["end_time"] - rec["start_time"]) >= rec["timelimit_min"] * 60 - 1e-6
+    timeouts = rec["state"] == int(JobState.TIMEOUT)
+    assert np.all(~timeouts | ran_full)

@@ -1,0 +1,56 @@
+"""Utilisation diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.slurm.utilization import pool_utilization, utilization_summary
+
+
+def test_profile_never_exceeds_capacity(small_trace):
+    result, cluster = small_trace
+    for pool_id, pool in enumerate(cluster.pools):
+        prof = pool_utilization(result.jobs, cluster, pool_id)
+        if len(prof["busy_cpus"]):
+            assert prof["busy_cpus"].max() <= pool.total_cpus + 1e-6
+            assert prof["busy_cpus"].min() >= -1e-6
+            assert np.all(np.diff(prof["times"]) >= 0)
+
+
+def test_summary_matches_generator_load(small_trace):
+    """The CPU pool's mean utilisation should be in the ballpark of the
+    generator's load target (0.5 for the session trace)."""
+    result, cluster = small_trace
+    summary = utilization_summary(result.jobs, cluster)
+    cpu = summary["cpu"]
+    assert 0.2 < cpu["mean"] < 0.9
+    assert cpu["mean"] <= cpu["peak"] <= 1.0 + 1e-9
+
+
+def test_profile_simple_scenario():
+    from repro.slurm.simulator import Simulator
+    from tests.slurm.test_simulator import make_subs, tiny_cluster
+
+    cluster = tiny_cluster(cpus=100)
+    res = Simulator(cluster, n_users=2).run(
+        make_subs(
+            [
+                dict(job_id=1, submit_time=0.0, req_cpus=40, timelimit_min=10.0, runtime_min=10.0),
+                dict(job_id=2, submit_time=0.0, req_cpus=30, timelimit_min=5.0, runtime_min=5.0),
+            ]
+        )
+    )
+    prof = pool_utilization(res.jobs, cluster, 0)
+    assert prof["busy_cpus"].max() == 70.0
+    summary = utilization_summary(res.jobs, cluster)
+    assert summary["p"]["peak"] == 0.7
+
+
+def test_empty_pool():
+    from tests.slurm.test_simulator import tiny_cluster
+    from repro.data.schema import JobSet
+
+    cluster = tiny_cluster()
+    prof = pool_utilization(JobSet.empty(("q",)), cluster, 0)
+    assert len(prof["times"]) == 0
+    summary = utilization_summary(JobSet.empty(("q",)), cluster)
+    assert summary["p"] == {"mean": 0.0, "peak": 0.0}

@@ -1,0 +1,32 @@
+"""Library logging namespace."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+def test_loggers_live_under_repro_namespace():
+    log = get_logger("workload.generator")
+    assert log.name == "repro.workload.generator"
+    # Already-qualified names pass through.
+    assert get_logger("repro.slurm").name == "repro.slurm"
+
+
+def test_enable_console_logging_idempotent():
+    root = logging.getLogger("repro")
+    before = len(root.handlers)
+    enable_console_logging()
+    enable_console_logging()
+    stream_handlers = [
+        h for h in root.handlers if isinstance(h, logging.StreamHandler)
+    ]
+    assert len(stream_handlers) >= 1
+    # Second call added nothing new beyond the first.
+    assert len(root.handlers) <= before + 1
+
+
+def test_child_logger_propagates(caplog):
+    log = get_logger("test_child")
+    with caplog.at_level(logging.INFO, logger="repro"):
+        log.info("hello %d", 42)
+    assert any("hello 42" in r.message for r in caplog.records)

@@ -1,0 +1,76 @@
+"""Parallel helpers: ordering, chunking, overlap windows."""
+
+import numpy as np
+import pytest
+
+from repro.utils.parallel import (
+    chunk_indices,
+    effective_n_jobs,
+    overlapping_chunks,
+    parallel_map,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def test_parallel_map_serial_order():
+    assert parallel_map(_square, [1, 2, 3], n_jobs=1) == [1, 4, 9]
+
+
+def test_parallel_map_processes_match_serial():
+    items = list(range(20))
+    serial = parallel_map(_square, items, n_jobs=1)
+    parallel = parallel_map(_square, items, n_jobs=2, min_items_per_job=1)
+    assert serial == parallel
+
+
+def test_parallel_map_shrinks_pool_for_small_work():
+    # 3 items with min 10 per job must run serially without error.
+    assert parallel_map(_square, [1, 2, 3], n_jobs=8, min_items_per_job=10) == [1, 4, 9]
+
+
+def test_effective_n_jobs():
+    assert effective_n_jobs(None) == 1
+    assert effective_n_jobs(0) == 1
+    assert effective_n_jobs(1) == 1
+    assert effective_n_jobs(-1) >= 1
+
+
+def test_chunk_indices_cover_range():
+    chunks = chunk_indices(10, 3)
+    joined = np.concatenate(chunks)
+    np.testing.assert_array_equal(joined, np.arange(10))
+    assert max(len(c) for c in chunks) - min(len(c) for c in chunks) <= 1
+
+
+def test_chunk_indices_invalid():
+    with pytest.raises(ValueError):
+        chunk_indices(10, 0)
+
+
+def test_overlapping_chunks_paper_scheme():
+    wins = overlapping_chunks(250_000, 100_000, 10_000)
+    assert wins[0] == (0, 100_000)
+    assert wins[1] == (90_000, 190_000)
+    assert wins[-1][1] == 250_000
+    # Consecutive windows overlap by exactly 10k until the clipped last one.
+    assert wins[0][1] - wins[1][0] == 10_000
+
+
+def test_overlapping_chunks_edges():
+    assert overlapping_chunks(0, 10, 2) == []
+    assert overlapping_chunks(5, 10, 2) == [(0, 5)]
+    with pytest.raises(ValueError):
+        overlapping_chunks(10, 10, 10)
+    with pytest.raises(ValueError):
+        overlapping_chunks(10, 0, 0)
+
+
+def test_overlapping_chunks_cover_everything():
+    wins = overlapping_chunks(1234, 100, 30)
+    covered = np.zeros(1234, dtype=bool)
+    for lo, hi in wins:
+        covered[lo:hi] = True
+    assert covered.all()

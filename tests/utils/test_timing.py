@@ -1,0 +1,33 @@
+"""Timer accumulation semantics."""
+
+import time
+
+from repro.utils.timing import Timer, timed
+
+
+def test_timer_accumulates_laps():
+    t = Timer()
+    for _ in range(3):
+        with t:
+            time.sleep(0.002)
+    assert t.laps == 3
+    assert t.elapsed >= 0.005
+    assert t.mean > 0
+
+
+def test_timer_reset():
+    t = Timer()
+    with t:
+        pass
+    t.reset()
+    assert t.laps == 0 and t.elapsed == 0.0 and t.mean == 0.0
+
+
+def test_timed_decorator_records_elapsed():
+    @timed
+    def work(n):
+        time.sleep(0.002)
+        return n * 2
+
+    assert work(21) == 42
+    assert work.last_elapsed >= 0.001

@@ -1,0 +1,61 @@
+"""Input validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_1d,
+    check_2d,
+    check_consistent_length,
+    check_finite,
+    check_fitted,
+    ensure_float64,
+)
+
+
+def test_ensure_float64_contiguous():
+    a = np.arange(6, dtype=np.int32).reshape(2, 3)[:, ::-1]
+    out = ensure_float64(a)
+    assert out.dtype == np.float64 and out.flags["C_CONTIGUOUS"]
+
+
+def test_check_2d_promotes_1d():
+    out = check_2d(np.arange(4))
+    assert out.shape == (4, 1)
+
+
+def test_check_2d_rejects_3d_and_empty():
+    with pytest.raises(ValueError):
+        check_2d(np.zeros((2, 2, 2)))
+    with pytest.raises(ValueError):
+        check_2d(np.zeros((0, 3)))
+
+
+def test_check_1d_squeezes_column():
+    out = check_1d(np.arange(4).reshape(-1, 1))
+    assert out.shape == (4,)
+    with pytest.raises(ValueError):
+        check_1d(np.zeros((3, 2)))
+
+
+def test_check_consistent_length():
+    check_consistent_length(np.zeros(3), np.zeros(3), None)
+    with pytest.raises(ValueError):
+        check_consistent_length(np.zeros(3), np.zeros(4))
+
+
+def test_check_finite():
+    check_finite(np.ones(3))
+    with pytest.raises(ValueError, match="non-finite"):
+        check_finite(np.array([1.0, np.nan]))
+
+
+def test_check_fitted():
+    class M:
+        tree_ = None
+
+    with pytest.raises(RuntimeError, match="not fitted"):
+        check_fitted(M(), "tree_")
+    m = M()
+    m.tree_ = object()
+    check_fitted(m, "tree_")

@@ -1,0 +1,69 @@
+"""Arrival process: diurnal modulation and burst sizes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import DAY_S, burst_sizes, diurnal_rate, sample_event_times
+
+
+def test_diurnal_rate_shape():
+    t = np.linspace(0, DAY_S, 1000)
+    r = diurnal_rate(t)
+    assert r.max() <= 1.0 + 1e-9
+    assert r.min() > 0.0
+    # Midday busier than 3am (Monday).
+    assert diurnal_rate(np.array([12 * 3600.0])) > diurnal_rate(np.array([3 * 3600.0]))
+
+
+def test_weekend_suppression():
+    monday_noon = 12 * 3600.0
+    saturday_noon = 5 * DAY_S + 12 * 3600.0
+    assert diurnal_rate(np.array([saturday_noon])) < diurnal_rate(np.array([monday_noon]))
+
+
+def test_sample_event_times_sorted_in_range():
+    rng = np.random.default_rng(0)
+    t = sample_event_times(500, 7 * DAY_S, rng)
+    assert len(t) == 500
+    assert np.all(np.diff(t) >= 0)
+    assert t.min() >= 0 and t.max() <= 7 * DAY_S
+
+
+def test_sample_event_times_respects_modulation():
+    rng = np.random.default_rng(0)
+    t = sample_event_times(20_000, 14 * DAY_S, rng)
+    tod = (t % DAY_S) / 3600.0
+    day_mass = np.mean((tod > 9) & (tod < 17))
+    night_mass = np.mean((tod < 5))
+    assert day_mass > 2 * night_mass
+
+
+def test_sample_event_times_edges():
+    rng = np.random.default_rng(0)
+    assert len(sample_event_times(0, 100.0, rng)) == 0
+    with pytest.raises(ValueError):
+        sample_event_times(5, 0.0, rng)
+
+
+def test_burst_sizes_bounds_and_mix():
+    rng = np.random.default_rng(0)
+    n = 5000
+    sizes = burst_sizes(
+        n,
+        burst_prob=np.full(n, 0.5),
+        mean_burst=np.full(n, 20.0),
+        rng=rng,
+        max_burst=100,
+    )
+    assert sizes.min() >= 1
+    assert sizes.max() <= 100
+    # Roughly half the events are singletons.
+    assert 0.35 < np.mean(sizes == 1) < 0.65
+    # Bursty events average near the requested mean.
+    assert 10 < sizes[sizes > 1].mean() < 35
+
+
+def test_burst_sizes_zero_prob():
+    rng = np.random.default_rng(0)
+    sizes = burst_sizes(100, np.zeros(100), np.full(100, 50.0), rng)
+    assert np.all(sizes == 1)

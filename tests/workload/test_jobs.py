@@ -1,0 +1,93 @@
+"""Per-job request/runtime sampling."""
+
+import numpy as np
+
+from repro.slurm.anvil import anvil_cluster
+from repro.workload.jobs import TIMELIMIT_MENU_MIN, sample_requests, sample_runtimes
+
+
+def _requests(n=4000, seed=0):
+    cluster = anvil_cluster(0.05)
+    rng = np.random.default_rng(seed)
+    parts = rng.integers(0, len(cluster.partitions), n)
+    scale = np.ones(n)
+    return cluster, parts, sample_requests(parts, scale, cluster, rng)
+
+
+def test_requests_within_partition_caps():
+    cluster, parts, req = _requests()
+    pool_ids = cluster.partition_pool_ids()
+    for pid, part in enumerate(cluster.partitions):
+        mask = parts == pid
+        if not mask.any():
+            continue
+        pool = cluster.pools[pool_ids[pid]]
+        assert req["req_cpus"][mask].max() <= pool.total_cpus
+        assert req["req_mem_gb"][mask].max() <= pool.total_mem_gb + 1e-9
+        assert req["timelimit_min"][mask].max() <= part.max_timelimit_min
+        if part.max_nodes is not None:
+            assert req["req_nodes"][mask].max() <= min(part.max_nodes, pool.n_nodes)
+
+
+def test_requests_positive():
+    _, _, req = _requests()
+    assert req["req_cpus"].min() >= 1
+    assert req["req_nodes"].min() >= 1
+    assert req["req_mem_gb"].min() > 0
+    assert req["timelimit_min"].min() > 0
+
+
+def test_gpu_partition_requests_gpus():
+    cluster, parts, req = _requests()
+    gpu = cluster.partition_id("gpu")
+    assert req["req_gpus"][parts == gpu].min() >= 1
+    assert req["req_gpus"][parts != gpu].max() == 0
+
+
+def test_exclusive_partitions_whole_nodes():
+    cluster, parts, req = _requests()
+    pool = cluster.pools[0]
+    for name in ("wholenode", "wide"):
+        pid = cluster.partition_id(name)
+        mask = parts == pid
+        if mask.any():
+            np.testing.assert_array_equal(
+                req["req_cpus"][mask], req["req_nodes"][mask] * pool.cpus_per_node
+            )
+
+
+def test_timelimits_come_from_menu():
+    _, _, req = _requests()
+    assert np.all(np.isin(req["timelimit_min"], TIMELIMIT_MENU_MIN))
+
+
+def test_timelimit_distribution_regime():
+    # Median ~4h, mean ~12h (Table I).
+    _, _, req = _requests(20_000, seed=1)
+    tl_hr = req["timelimit_min"] / 60.0
+    assert 2.0 <= np.median(tl_hr) <= 8.0
+    assert 8.0 <= tl_hr.mean() <= 18.0
+
+
+def test_runtimes_regime():
+    rng = np.random.default_rng(0)
+    n = 20_000
+    tl = np.full(n, 240.0)
+    util = np.full(n, 0.15)
+    runtime, fail = sample_runtimes(tl, util, rng)
+    assert np.all(runtime > 0)
+    assert np.all(runtime <= tl + 1e-9)
+    # Crash mixture gives a tiny median, Beta body keeps the mean moderate.
+    assert np.median(runtime) < 40.0
+    assert 0.05 < (runtime / tl).mean() < 0.3
+    # Failures only among quick exits.
+    assert fail.sum() > 0
+    assert runtime[fail == 1].max() < 30.0
+
+
+def test_runtime_timeout_fraction():
+    rng = np.random.default_rng(1)
+    tl = np.full(50_000, 60.0)
+    runtime, _ = sample_runtimes(tl, np.full(50_000, 0.15), rng)
+    hit = np.mean(runtime >= tl)
+    assert 0.01 < hit < 0.1
