@@ -59,6 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--scale", type=float, default=0.05, help="cluster scale of the trace")
     tr.add_argument("--cutoff-min", type=float, default=10.0)
     tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        help="feature-engineering worker processes "
+        "(default: $REPRO_N_JOBS or 1; results are bit-identical)",
+    )
+    tr.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="on-disk feature cache directory (reused across runs; "
+        "content-hash keyed, so stale entries are impossible)",
+    )
 
     pr = sub.add_parser("predict", help="predict for an existing job")
     pr.add_argument("--model", type=Path, required=True)
@@ -120,10 +134,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.eval.report import format_timing_report
+    from repro.features.cache import FeatureCache
+
     jobs = read_swf(args.trace)
     cluster = anvil_cluster(scale=args.scale)
     config = TroutConfig(cutoff_min=args.cutoff_min, seed=args.seed)
-    fm, runtime = build_feature_matrix(jobs, cluster, config)
+    try:
+        cache = FeatureCache(args.cache_dir) if args.cache_dir is not None else None
+    except OSError as exc:
+        print(f"unusable --cache-dir: {exc}", file=sys.stderr)
+        return 1
+    fm, runtime = build_feature_matrix(
+        jobs, cluster, config, n_jobs=args.n_jobs, cache=cache
+    )
+    if fm.cache_hit:
+        print("feature matrix loaded from cache")
+    elif fm.timings:
+        print(format_timing_report(fm.timings, cache.stats if cache else None))
     result = train_trout(fm, config)
     result.model.save(args.out)
     with open(Path(args.out) / "runtime_model.pkl", "wb") as fh:

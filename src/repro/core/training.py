@@ -97,12 +97,18 @@ def build_feature_matrix(
     jobs: JobSet,
     cluster: Cluster,
     config: TroutConfig | None = None,
+    n_jobs: int | None = None,
+    cache: "FeatureCache | None" = None,
 ) -> tuple[FeatureMatrix, RuntimePredictor]:
     """Featurise a trace with a leakage-safe runtime model.
 
     The runtime model trains on the oldest ``test_fraction`` of jobs (a
     subset of every fold's training window) and predicts runtimes for the
     whole trace; those predictions feed the three Pred-Runtime features.
+
+    ``n_jobs`` fans the snapshot stage out across processes (``None`` reads
+    ``REPRO_N_JOBS``); ``cache`` memoises the finished matrix on disk —
+    both leave the result bit-identical to a serial cold run.
     """
     config = config or TroutConfig()
     n = len(jobs)
@@ -110,8 +116,10 @@ def build_feature_matrix(
     runtime = RuntimePredictor(config.runtime_model, seed=config.seed)
     runtime.fit(jobs[np.arange(n_rt)])
     pred = runtime.predict_minutes(jobs)
-    pipeline = FeaturePipeline(cluster)
+    pipeline = FeaturePipeline(cluster, n_jobs=n_jobs, cache=cache)
     fm = pipeline.compute(jobs, pred_runtime_min=pred)
+    if fm.cache_hit:
+        log.info("feature matrix served from cache (%d rows)", len(fm))
     return fm, runtime
 
 

@@ -11,7 +11,13 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "density_series", "scatter_series", "ascii_scatter"]
+__all__ = [
+    "format_table",
+    "format_timing_report",
+    "density_series",
+    "scatter_series",
+    "ascii_scatter",
+]
 
 
 def format_table(
@@ -35,6 +41,31 @@ def format_table(
     for r in cells:
         out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
     return "\n".join(out)
+
+
+def format_timing_report(
+    timings: Mapping[str, float],
+    cache_stats: object | None = None,
+) -> str:
+    """Per-stage wall-time table, optionally with cache hit/miss counters.
+
+    ``timings`` is the :attr:`FeatureMatrix.timings` mapping (stage →
+    seconds); ``cache_stats`` duck-types
+    :class:`repro.features.cache.CacheStats`.  Used by ``trout train -v``
+    and the feature-engineering benches.
+    """
+    total = float(timings.get("total", sum(timings.values())))
+    rows = []
+    for stage, secs in timings.items():
+        share = 100.0 * secs / total if total > 0 else 0.0
+        rows.append([stage, secs * 1e3, share])
+    out = format_table(["stage", "wall (ms)", "% of total"], rows)
+    if cache_stats is not None:
+        out += (
+            f"\ncache: {cache_stats.hits} hits, {cache_stats.misses} misses, "
+            f"{cache_stats.stores} stores, {cache_stats.invalid} invalid"
+        )
+    return out
 
 
 def density_series(

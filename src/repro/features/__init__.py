@@ -13,9 +13,13 @@ Submodules:
   features.
 - :mod:`repro.features.transforms` — log1p, min-max, standard and Box-Cox
   scaling.
-- :mod:`repro.features.pipeline` — assembles the full Table II matrix.
+- :mod:`repro.features.pipeline` — assembles the full Table II matrix,
+  optionally fanning the snapshot stage out across processes.
+- :mod:`repro.features.cache` — content-addressed on-disk store of
+  finished feature matrices.
 """
 
+from repro.features.cache import CacheStats, FeatureCache
 from repro.features.interval_tree import (
     ChunkedIntervalForest,
     IntervalTree,
@@ -39,6 +43,8 @@ __all__ = [
     "feature_index",
     "FeaturePipeline",
     "FeatureMatrix",
+    "FeatureCache",
+    "CacheStats",
     "Log1pTransform",
     "MinMaxScaler",
     "StandardScaler",

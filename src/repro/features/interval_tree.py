@@ -26,7 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.utils.parallel import overlapping_chunks
+from repro.utils.parallel import overlapping_chunks, parallel_map
 
 __all__ = ["IntervalTree", "ChunkedIntervalForest", "naive_stab_batch"]
 
@@ -314,6 +314,27 @@ def _emit(
     pair_i.append(ids_sorted[within])
 
 
+def _build_chunk_tree(
+    payload: tuple[np.ndarray, np.ndarray, int, int],
+) -> tuple[IntervalTree, tuple[float, float]]:
+    """Build one chunk's tree (+ live time span).  Module-level so process
+    pools can pickle it; deterministic given the chunk's slice alone."""
+    starts, ends, lo, hi = payload
+    ids = np.arange(lo, hi, dtype=np.int64)
+    tree = IntervalTree(starts, ends, ids=ids)
+    live = ends > starts
+    if np.any(live):
+        span = (float(starts[live].min()), float(ends[live].max()))
+    else:
+        span = (np.inf, -np.inf)
+    return tree, span
+
+
+def _chunk_label(payload: tuple[np.ndarray, np.ndarray, int, int]) -> str:
+    _, _, lo, hi = payload
+    return f"interval-tree chunk [{lo}, {hi})"
+
+
 class ChunkedIntervalForest:
     """The paper's chunked interval-tree scheme.
 
@@ -324,9 +345,12 @@ class ChunkedIntervalForest:
     duplicates (from the overlap regions) removed, i.e. the trees are
     "merged back together after finishing".
 
-    Chunking bounds per-tree build cost and lets chunk builds proceed in
-    parallel; overlap preserves matches for jobs straddling chunk edges
-    when the interval list is approximately time-ordered.
+    Chunking bounds per-tree build cost and, with ``n_jobs > 1``, fans the
+    chunk builds out across processes ("chunk builds proceed in parallel",
+    §V).  Each tree is a pure function of its own slice and the merged list
+    preserves chunk order, so parallel construction is bit-identical to
+    serial.  Overlap preserves matches for jobs straddling chunk edges when
+    the interval list is approximately time-ordered.
     """
 
     def __init__(
@@ -335,6 +359,7 @@ class ChunkedIntervalForest:
         ends: np.ndarray,
         chunk_size: int = 100_000,
         overlap: int = 10_000,
+        n_jobs: int | None = 1,
     ) -> None:
         starts = np.ascontiguousarray(starts, dtype=np.float64)
         ends = np.ascontiguousarray(ends, dtype=np.float64)
@@ -343,18 +368,15 @@ class ChunkedIntervalForest:
         self.n_intervals = len(starts)
         self.chunk_size = chunk_size
         self.overlap = overlap
-        self._trees: list[IntervalTree] = []
-        self._spans: list[tuple[float, float]] = []
-        for lo, hi in overlapping_chunks(len(starts), chunk_size, overlap):
-            ids = np.arange(lo, hi, dtype=np.int64)
-            tree = IntervalTree(starts[lo:hi], ends[lo:hi], ids=ids)
-            live = ends[lo:hi] > starts[lo:hi]
-            if np.any(live):
-                span = (float(starts[lo:hi][live].min()), float(ends[lo:hi][live].max()))
-            else:
-                span = (np.inf, -np.inf)
-            self._trees.append(tree)
-            self._spans.append(span)
+        payloads = [
+            (starts[lo:hi], ends[lo:hi], lo, hi)
+            for lo, hi in overlapping_chunks(len(starts), chunk_size, overlap)
+        ]
+        built = parallel_map(
+            _build_chunk_tree, payloads, n_jobs=n_jobs, label=_chunk_label
+        )
+        self._trees: list[IntervalTree] = [tree for tree, _ in built]
+        self._spans: list[tuple[float, float]] = [span for _, span in built]
 
     @property
     def n_trees(self) -> int:

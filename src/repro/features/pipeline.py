@@ -6,11 +6,19 @@ straight from the records, partition snapshots from the interval-tree
 engine, user past-day history, static partition specs, and the runtime
 model's predictions.  ``log1p`` is applied to every column, as in §III
 ("a natural log transformation was applied to all features").
+
+The snapshot stage — the dominant cost at paper scale — fans out across
+processes when ``n_jobs > 1`` (order-stable merge, bit-identical to
+serial; see ``tests/features/test_parallel_equivalence.py``), and finished
+matrices can be memoised on disk through
+:class:`repro.features.cache.FeatureCache`.  Per-stage wall times are
+recorded on the returned matrix for the benches and ``eval.report``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -21,10 +29,28 @@ from repro.features.static_specs import static_partition_features
 from repro.features.user_history import user_past_day
 from repro.slurm.resources import Cluster
 from repro.utils.logging import get_logger
+from repro.utils.timing import Timer
 
-__all__ = ["FeatureMatrix", "FeaturePipeline"]
+__all__ = ["FeatureMatrix", "FeaturePipeline", "resolve_n_jobs"]
 
 log = get_logger(__name__)
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """``None`` defers to the ``REPRO_N_JOBS`` environment knob (default 1).
+
+    This is how CI exercises every parallel path: the second workflow job
+    sets ``REPRO_N_JOBS=2`` and runs the unmodified suite.
+    """
+    if n_jobs is not None:
+        return n_jobs
+    raw = os.environ.get("REPRO_N_JOBS", "1")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_N_JOBS must be an integer, got {raw!r}"
+        ) from None
 
 
 @dataclass
@@ -32,13 +58,17 @@ class FeatureMatrix:
     """A feature matrix with its provenance.
 
     ``X`` is the log1p-transformed matrix unless ``raw`` was requested;
-    rows align with ``jobs`` (eligibility order preserved).
+    rows align with ``jobs`` (eligibility order preserved).  ``timings``
+    holds per-stage wall seconds from the producing pipeline run (empty on
+    a cache hit, which sets ``cache_hit`` instead).
     """
 
     X: np.ndarray  # (n_jobs, 33)
     names: tuple[str, ...]
     queue_time_min: np.ndarray  # regression target, minutes
     log_transformed: bool
+    timings: dict[str, float] = field(default_factory=dict, repr=False)
+    cache_hit: bool = False
 
     def column(self, name: str) -> np.ndarray:
         """One feature column by name."""
@@ -59,6 +89,14 @@ class FeaturePipeline:
         Interval-tree chunking (paper defaults 100 000 / 10 000).
     log_transform:
         Apply ``log1p`` columnwise (the paper's choice).
+    n_jobs:
+        Worker processes for the snapshot stage (chunk tree builds and
+        per-partition aggregation).  ``None`` reads ``REPRO_N_JOBS``
+        (default 1).  Any value produces a bit-identical matrix.
+    cache:
+        Optional :class:`repro.features.cache.FeatureCache`; when set,
+        :meth:`compute` is memoised on a content hash of the trace, the
+        pipeline configuration and the predicted-runtime vector.
     """
 
     def __init__(
@@ -68,6 +106,8 @@ class FeaturePipeline:
         overlap: int = 10_000,
         log_transform: bool = True,
         user_window_s: float = 24 * 3600.0,
+        n_jobs: int | None = None,
+        cache: "FeatureCache | None" = None,
     ) -> None:
         if user_window_s <= 0:
             raise ValueError("user_window_s must be positive")
@@ -79,6 +119,25 @@ class FeaturePipeline:
         #: fair-share period ("user jobs ran in past slurm-period"); the
         #: default is the paper's past-day window.
         self.user_window_s = user_window_s
+        self.n_jobs = resolve_n_jobs(n_jobs)
+        self.cache = cache
+
+    def signature(self) -> tuple:
+        """Everything configuration-side the matrix depends on (cache key
+        material): chunking, transforms, and the cluster's static specs."""
+        specs = self.cluster.partition_specs()
+        return (
+            self.chunk_size,
+            self.overlap,
+            self.log_transform,
+            self.user_window_s,
+            self.cluster.name,
+            tuple(self.cluster.partition_names),
+            tuple(
+                (k, tuple(np.asarray(v, dtype=np.float64).tolist()))
+                for k, v in sorted(specs.items())
+            ),
+        )
 
     def compute(
         self,
@@ -103,43 +162,80 @@ class FeaturePipeline:
             if pred.shape != (n,):
                 raise ValueError("pred_runtime_min must align with jobs")
 
-        cols: dict[str, np.ndarray] = {
-            "priority": rec["priority"].astype(np.float64),
-            "timelimit_raw": rec["timelimit_min"].astype(np.float64),
-            "req_cpus": rec["req_cpus"].astype(np.float64),
-            "req_mem": rec["req_mem_gb"].astype(np.float64),
-            "req_nodes": rec["req_nodes"].astype(np.float64),
-            "pred_runtime": pred,
-        }
-        cols.update(
-            partition_snapshots(
-                jobs,
-                pred_runtime_min=pred,
-                chunk_size=self.chunk_size,
-                overlap=self.overlap,
-            )
-        )
-        cols.update(user_past_day(jobs, window_s=self.user_window_s))
-        cols.update(static_partition_features(jobs, self.cluster))
+        key: str | None = None
+        if self.cache is not None:
+            key = self.cache.key_for(jobs, pred, self.signature())
+            cached = self.cache.load(key)
+            if cached is not None:
+                log.info("feature cache hit for %d jobs (key %s…)", n, key[:12])
+                return cached
 
-        missing = [name for name in FEATURE_NAMES if name not in cols]
-        if missing:
-            raise RuntimeError(f"pipeline did not produce columns: {missing}")
-        X = np.column_stack([cols[name] for name in FEATURE_NAMES])
-        if np.any(X < -1e-6):
-            j = int(np.argmin(X.min(axis=0)))
-            raise ValueError(
-                f"negative raw feature value in {FEATURE_NAMES[j]!r}"
-            )
-        # Prefix-sum arithmetic can leave −1e-12-scale residue; every
-        # Table II quantity is non-negative by construction.
-        X = np.maximum(X, 0.0)
-        if self.log_transform:
-            X = np.log1p(X)
-        log.info("featurised %d jobs into %d columns", n, X.shape[1])
-        return FeatureMatrix(
+        timings: dict[str, float] = {}
+        t_total = Timer()
+        with t_total:
+            cols: dict[str, np.ndarray] = {
+                "priority": rec["priority"].astype(np.float64),
+                "timelimit_raw": rec["timelimit_min"].astype(np.float64),
+                "req_cpus": rec["req_cpus"].astype(np.float64),
+                "req_mem": rec["req_mem_gb"].astype(np.float64),
+                "req_nodes": rec["req_nodes"].astype(np.float64),
+                "pred_runtime": pred,
+            }
+            t = Timer()
+            with t:
+                cols.update(
+                    partition_snapshots(
+                        jobs,
+                        pred_runtime_min=pred,
+                        chunk_size=self.chunk_size,
+                        overlap=self.overlap,
+                        n_jobs=self.n_jobs,
+                    )
+                )
+            timings["snapshots"] = t.elapsed
+            t = Timer()
+            with t:
+                cols.update(user_past_day(jobs, window_s=self.user_window_s))
+            timings["user_history"] = t.elapsed
+            t = Timer()
+            with t:
+                cols.update(static_partition_features(jobs, self.cluster))
+            timings["static_specs"] = t.elapsed
+
+            t = Timer()
+            with t:
+                missing = [name for name in FEATURE_NAMES if name not in cols]
+                if missing:
+                    raise RuntimeError(
+                        f"pipeline did not produce columns: {missing}"
+                    )
+                X = np.column_stack([cols[name] for name in FEATURE_NAMES])
+                if np.any(X < -1e-6):
+                    j = int(np.argmin(X.min(axis=0)))
+                    raise ValueError(
+                        f"negative raw feature value in {FEATURE_NAMES[j]!r}"
+                    )
+                # Prefix-sum arithmetic can leave −1e-12-scale residue; every
+                # Table II quantity is non-negative by construction.
+                X = np.maximum(X, 0.0)
+                if self.log_transform:
+                    X = np.log1p(X)
+            timings["assemble"] = t.elapsed
+        timings["total"] = t_total.elapsed
+        log.info(
+            "featurised %d jobs into %d columns in %.2fs (n_jobs=%d)",
+            n,
+            X.shape[1],
+            timings["total"],
+            self.n_jobs,
+        )
+        fm = FeatureMatrix(
             X=np.ascontiguousarray(X),
             names=FEATURE_NAMES,
             queue_time_min=jobs.queue_time_min,
             log_transformed=self.log_transform,
+            timings=timings,
         )
+        if self.cache is not None and key is not None:
+            self.cache.store(key, fm)
+        return fm

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.data.schema import JobSet
 from repro.features.interval_tree import ChunkedIntervalForest
+from repro.utils.parallel import parallel_map
 
 __all__ = ["partition_snapshots", "SNAPSHOT_KEYS"]
 
@@ -62,11 +63,55 @@ def _aggregate(
         )
 
 
+def _partition_worker(
+    payload: tuple,
+) -> dict[str, np.ndarray]:
+    """All aggregates for one partition's job slice.
+
+    Module-level (picklable) and a pure function of its slice, so results
+    are identical whether it runs in-process or in a worker.
+    """
+    (p, elig, start, end, prio, values, pred, chunk_size, overlap, inner) = payload
+    m = len(elig)
+
+    # --- pending intervals [eligible, start) ---------------------------- #
+    pend = ChunkedIntervalForest(elig, start, chunk_size, overlap, n_jobs=inner)
+    iv, indptr = pend.stab_batch(elig)
+    qids = np.repeat(np.arange(m), np.diff(indptr))
+    not_self = iv != qids
+    qq, mi = qids[not_self], iv[not_self]
+    sub = {k: np.zeros(m) for k in SNAPSHOT_KEYS}
+    _aggregate(qq, mi, m, values, "queue", sub)
+    sub["par_queue_pred_timelimit"] += np.bincount(
+        qq, weights=pred[mi], minlength=m
+    )
+    # "Ahead": strictly higher priority among the pending set.
+    ahead = prio[mi] > prio[qq]
+    _aggregate(qq[ahead], mi[ahead], m, values, "ahead", sub)
+
+    # --- running intervals [start, end) --------------------------------- #
+    runf = ChunkedIntervalForest(start, end, chunk_size, overlap, n_jobs=inner)
+    iv, indptr = runf.stab_batch(elig)
+    qids = np.repeat(np.arange(m), np.diff(indptr))
+    not_self = iv != qids
+    qq, mi = qids[not_self], iv[not_self]
+    _aggregate(qq, mi, m, values, "running", sub)
+    sub["par_running_pred_timelimit"] += np.bincount(
+        qq, weights=pred[mi], minlength=m
+    )
+    return sub
+
+
+def _partition_label(payload: tuple) -> str:
+    return f"partition {payload[0]} snapshot ({len(payload[1])} jobs)"
+
+
 def partition_snapshots(
     jobs: JobSet,
     pred_runtime_min: np.ndarray | None = None,
     chunk_size: int = 100_000,
     overlap: int = 10_000,
+    n_jobs: int | None = 1,
 ) -> dict[str, np.ndarray]:
     """Compute all partition-state aggregates for an eligibility-ordered trace.
 
@@ -82,6 +127,12 @@ def partition_snapshots(
         scheduler's own assumption).
     chunk_size, overlap:
         Interval-tree chunking (paper: 100 000 / 10 000).
+    n_jobs:
+        Worker processes.  With several partitions the fan-out is one task
+        per partition (chunk builds stay serial inside each worker); with a
+        single partition it is pushed down to the chunk-tree builds.  Both
+        placements merge in deterministic order, so any ``n_jobs`` yields a
+        bit-identical result.
 
     Returns
     -------
@@ -106,42 +157,30 @@ def partition_snapshots(
     }
 
     partitions = np.unique(rec["partition"])
-    for p in partitions:
-        g = np.flatnonzero(rec["partition"] == p)  # global indices
-        elig = rec["eligible_time"][g]
-        start = rec["start_time"][g]
-        end = rec["end_time"][g]
-        prio = rec["priority"][g]
-        values = {k: v[g] for k, v in values_all.items()}
-        pred = pred_runtime_min[g]
-        m = len(g)
-
-        # --- pending intervals [eligible, start) ------------------------ #
-        pend = ChunkedIntervalForest(elig, start, chunk_size, overlap)
-        iv, indptr = pend.stab_batch(elig)
-        qids = np.repeat(np.arange(m), np.diff(indptr))
-        not_self = iv != qids
-        qq, mi = qids[not_self], iv[not_self]
-        sub = {k: np.zeros(m) for k in SNAPSHOT_KEYS}
-        _aggregate(qq, mi, m, values, "queue", sub)
-        sub["par_queue_pred_timelimit"] += np.bincount(
-            qq, weights=pred[mi], minlength=m
+    # One level of process parallelism only: across partitions when there
+    # are several (the common case), else across chunk-tree builds.
+    outer = n_jobs if len(partitions) > 1 else 1
+    inner = 1 if len(partitions) > 1 else n_jobs
+    groups = [np.flatnonzero(rec["partition"] == p) for p in partitions]
+    payloads = [
+        (
+            int(p),
+            rec["eligible_time"][g],
+            rec["start_time"][g],
+            rec["end_time"][g],
+            rec["priority"][g],
+            {k: v[g] for k, v in values_all.items()},
+            pred_runtime_min[g],
+            chunk_size,
+            overlap,
+            inner,
         )
-        # "Ahead": strictly higher priority among the pending set.
-        ahead = prio[mi] > prio[qq]
-        _aggregate(qq[ahead], mi[ahead], m, values, "ahead", sub)
-
-        # --- running intervals [start, end) ------------------------------ #
-        runf = ChunkedIntervalForest(start, end, chunk_size, overlap)
-        iv, indptr = runf.stab_batch(elig)
-        qids = np.repeat(np.arange(m), np.diff(indptr))
-        not_self = iv != qids
-        qq, mi = qids[not_self], iv[not_self]
-        _aggregate(qq, mi, m, values, "running", sub)
-        sub["par_running_pred_timelimit"] += np.bincount(
-            qq, weights=pred[mi], minlength=m
-        )
-
+        for p, g in zip(partitions, groups)
+    ]
+    subs = parallel_map(
+        _partition_worker, payloads, n_jobs=outer, label=_partition_label
+    )
+    for g, sub in zip(groups, subs):
         for k in SNAPSHOT_KEYS:
             out[k][g] = sub[k]
     return out

@@ -17,24 +17,63 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
 
-__all__ = ["parallel_map", "chunk_indices", "effective_n_jobs", "overlapping_chunks"]
+__all__ = [
+    "ParallelWorkerError",
+    "parallel_map",
+    "chunk_indices",
+    "effective_n_jobs",
+    "overlapping_chunks",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
+class ParallelWorkerError(RuntimeError):
+    """A worker task failed; the message names the failing work item.
+
+    Raised (with the original exception chained as ``__cause__``) when
+    :func:`parallel_map` is given a ``label`` callable, so a failure deep in
+    a fan-out identifies its chunk instead of surfacing as an anonymous
+    pickled traceback.
+    """
+
+
 def effective_n_jobs(n_jobs: int | None) -> int:
-    """Resolve an ``n_jobs`` request against available CPUs.
+    """Resolve an ``n_jobs`` request to a worker count.
 
     ``None`` or ``0`` → 1 (serial).  Negative values count back from the CPU
-    count, sklearn-style (``-1`` → all cores).
+    count, sklearn-style (``-1`` → all cores).  Positive requests are taken
+    at face value — oversubscription is deliberate, so equivalence tests can
+    exercise real worker processes even on single-core runners.
     """
     cpus = os.cpu_count() or 1
     if n_jobs is None or n_jobs == 0:
         return 1
     if n_jobs < 0:
         return max(1, cpus + 1 + n_jobs)
-    return min(n_jobs, cpus)
+    return n_jobs
+
+
+class _LabelledCall:
+    """Picklable wrapper attaching an item label to worker exceptions.
+
+    Items arrive as ``(label_str, item)`` pairs — labels are rendered in the
+    parent so the ``label`` callable itself (often a lambda) never needs to
+    be picklable.
+    """
+
+    def __init__(self, fn: Callable[[T], R]) -> None:
+        self.fn = fn
+
+    def __call__(self, pair: tuple[str, T]) -> R:
+        label, item = pair
+        try:
+            return self.fn(item)
+        except Exception as exc:
+            raise ParallelWorkerError(
+                f"worker failed on {label}: {exc!r}"
+            ) from exc
 
 
 def parallel_map(
@@ -42,6 +81,7 @@ def parallel_map(
     items: Sequence[T],
     n_jobs: int | None = 1,
     min_items_per_job: int = 1,
+    label: Callable[[T], str] | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally across processes.
 
@@ -56,8 +96,15 @@ def parallel_map(
     min_items_per_job:
         If ``len(items) / n_jobs`` falls below this, the pool is shrunk so
         process startup cannot dominate tiny workloads.
+    label:
+        Optional ``item → str`` describing each work item; when given, a
+        worker exception is re-raised as :class:`ParallelWorkerError` naming
+        the failing item (identically in serial and parallel execution).
     """
     items = list(items)
+    if label is not None:
+        items = [(label(item), item) for item in items]
+        fn = _LabelledCall(fn)
     n = effective_n_jobs(n_jobs)
     if min_items_per_job > 0:
         n = min(n, max(1, len(items) // min_items_per_job))
