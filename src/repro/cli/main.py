@@ -22,7 +22,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import TroutConfig, TroutModel, train_trout
+from repro.core.config import RuntimeModelConfig
 from repro.core.training import build_feature_matrix
+from repro.ml.binning import TREE_METHODS
 from repro.data.schema import JOB_DTYPE, JobSet
 from repro.data.stats import format_statistics_table, job_statistics
 from repro.data.swf import read_swf, write_swf
@@ -72,6 +74,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="on-disk feature cache directory (reused across runs; "
         "content-hash keyed, so stale entries are impossible)",
+    )
+    tr.add_argument(
+        "--tree-method",
+        choices=TREE_METHODS,
+        default=None,
+        help="split search for the runtime-model forest "
+        "(default: $REPRO_TREE_METHOD or hist)",
     )
 
     pr = sub.add_parser("predict", help="predict for an existing job")
@@ -139,7 +148,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     jobs = read_swf(args.trace)
     cluster = anvil_cluster(scale=args.scale)
-    config = TroutConfig(cutoff_min=args.cutoff_min, seed=args.seed)
+    config = TroutConfig(
+        cutoff_min=args.cutoff_min,
+        seed=args.seed,
+        runtime_model=RuntimeModelConfig(tree_method=args.tree_method),
+    )
     try:
         cache = FeatureCache(args.cache_dir) if args.cache_dir is not None else None
     except OSError as exc:

@@ -5,6 +5,13 @@ model with "absent" features replaced by background values, and solving a
 Shapley-kernel-weighted least squares for the per-feature attributions.
 Attributions satisfy local accuracy: they sum (with the base value) to the
 model output for the explained row.
+
+All coalition × background evaluations for one explained row are batched
+into a single ``predict`` call, and :meth:`~KernelShapExplainer.
+shap_values_batch` draws one coalition sample shared by every row — the
+weighted-least-squares design (and its pseudo-inverse) is then factorised
+once and reused, so explaining ``m`` rows costs ``m`` model calls and one
+matrix factorisation.
 """
 
 from __future__ import annotations
@@ -17,6 +24,10 @@ from repro.utils.rng import default_rng
 from repro.utils.validation import check_2d
 
 __all__ = ["KernelShapExplainer"]
+
+#: Cap on (coalitions × background × features) entries materialised per
+#: predict batch; larger problems are evaluated in coalition blocks.
+_BATCH_ENTRIES = 1 << 22
 
 
 class KernelShapExplainer:
@@ -48,6 +59,75 @@ class KernelShapExplainer:
         self.rng = default_rng(seed)
         self.base_value = float(np.mean(predict(self.background)))
 
+    def _draw_masks(self, d: int) -> tuple[np.ndarray, np.ndarray]:
+        """(masks, sizes): coalition subsets, Shapley-kernel size weighting.
+
+        One vectorised draw: each row keeps the ``sizes[i]`` features with
+        the smallest uniforms — a uniform without-replacement subset.
+        """
+        sizes = np.arange(1, d)
+        kernel = (d - 1) / (sizes * (d - sizes))
+        drawn = self.rng.choice(sizes, size=self.n_samples, p=kernel / kernel.sum())
+        ranks = np.argsort(
+            np.argsort(self.rng.random((self.n_samples, d)), axis=1), axis=1
+        )
+        return ranks < drawn[:, None], drawn
+
+    def _coalition_values(self, x: np.ndarray, masks: np.ndarray) -> np.ndarray:
+        """Mean model value per coalition, batched into few predict calls.
+
+        Present features take the explained row's values, absent ones the
+        background's; all (coalition, background-row) combinations go to
+        the model in one batch (blocked only to bound peak memory).
+        """
+        nb, d = self.background.shape
+        n = len(masks)
+        vals = np.empty(n)
+        block = max(1, _BATCH_ENTRIES // (nb * d))
+        for a in range(0, n, block):
+            mb = masks[a : a + block]
+            Xc = np.where(mb[:, None, :], x, self.background)
+            preds = np.asarray(self.predict(Xc.reshape(-1, d)), dtype=np.float64)
+            vals[a : a + block] = preds.reshape(len(mb), nb).mean(axis=1)
+        return vals
+
+    def _solve(
+        self,
+        fx: float,
+        masks: np.ndarray,
+        sizes: np.ndarray,
+        vals: np.ndarray,
+        pinv: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Kernel-weighted least squares for one row's attributions.
+
+        The sum constraint ``sum(phi) = f(x) − base`` is enforced by
+        eliminating the last feature.  ``pinv`` (from :meth:`_design`)
+        reuses one factorisation across rows sharing the coalitions.
+        """
+        d = masks.shape[1]
+        sw, A = self._design(masks, sizes) if pinv is None else (None, None)
+        Z_last = masks[:, -1].astype(np.float64)
+        target = vals - self.base_value - Z_last * (fx - self.base_value)
+        if pinv is None:
+            phi_partial, *_ = np.linalg.lstsq(A, target * sw, rcond=None)
+        else:
+            sw = np.sqrt((d - 1) / (sizes * (d - sizes)))
+            phi_partial = pinv @ (target * sw)
+        phi = np.empty(d)
+        phi[:-1] = phi_partial
+        phi[-1] = (fx - self.base_value) - phi_partial.sum()
+        return phi
+
+    @staticmethod
+    def _design(masks: np.ndarray, sizes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(sqrt-weights, weighted design) of the constrained WLS system."""
+        d = masks.shape[1]
+        sw = np.sqrt((d - 1) / (sizes * (d - sizes)))
+        Z = masks.astype(np.float64)
+        A = (Z[:, :-1] - Z[:, [-1]]) * sw[:, None]
+        return sw, A
+
     def shap_values(self, x: np.ndarray) -> np.ndarray:
         """Shapley attributions for one row ``x`` (shape (n_features,))."""
         x = np.asarray(x, dtype=np.float64).ravel()
@@ -59,43 +139,34 @@ class KernelShapExplainer:
         fx = float(np.mean(self.predict(x.reshape(1, -1))))
         if d == 1:
             return np.array([fx - self.base_value])
-
-        # Sample coalition masks with sizes weighted by the Shapley kernel.
-        sizes = np.arange(1, d)
-        kernel = (d - 1) / (sizes * (d - sizes))
-        size_p = kernel / kernel.sum()
-        masks = np.zeros((self.n_samples, d), dtype=bool)
-        drawn_sizes = self.rng.choice(sizes, size=self.n_samples, p=size_p)
-        for i, s in enumerate(drawn_sizes):
-            masks[i, self.rng.choice(d, size=s, replace=False)] = True
-
-        # Model value per coalition, averaged over the background.
-        nb = len(self.background)
-        vals = np.empty(self.n_samples)
-        for i in range(self.n_samples):
-            Xc = self.background.copy()
-            Xc[:, masks[i]] = x[masks[i]]
-            vals[i] = float(np.mean(self.predict(Xc)))
-
-        # Weighted least squares with the sum constraint
-        # sum(phi) = f(x) − base enforced by eliminating the last feature.
-        w = (d - 1) / (
-            drawn_sizes * (d - drawn_sizes)
-        )
-        Z = masks.astype(np.float64)
-        target = vals - self.base_value - Z[:, -1] * (fx - self.base_value)
-        A = Z[:, :-1] - Z[:, [-1]]
-        sw = np.sqrt(w)
-        phi_partial, *_ = np.linalg.lstsq(A * sw[:, None], target * sw, rcond=None)
-        phi = np.empty(d)
-        phi[:-1] = phi_partial
-        phi[-1] = (fx - self.base_value) - phi_partial.sum()
-        return phi
+        masks, sizes = self._draw_masks(d)
+        vals = self._coalition_values(x, masks)
+        return self._solve(fx, masks, sizes, vals)
 
     def shap_values_batch(self, X: np.ndarray) -> np.ndarray:
-        """Explain several rows; returns (n_rows, n_features)."""
+        """Explain several rows; returns (n_rows, n_features).
+
+        One coalition sample is shared by every row, so the weighted
+        design is factorised once; each row costs a single batched model
+        call for its coalition values.
+        """
         X = check_2d(X, "X")
-        return np.stack([self.shap_values(row) for row in X])
+        d = X.shape[1]
+        if d != self.background.shape[1]:
+            raise ValueError(
+                f"X has {d} features, background has {self.background.shape[1]}"
+            )
+        fxs = np.asarray(self.predict(X), dtype=np.float64)
+        if d == 1:
+            return (fxs - self.base_value)[:, None]
+        masks, sizes = self._draw_masks(d)
+        sw, A = self._design(masks, sizes)
+        pinv = np.linalg.pinv(A)
+        out = np.empty((len(X), d))
+        for i, x in enumerate(np.ascontiguousarray(X, dtype=np.float64)):
+            vals = self._coalition_values(x, masks)
+            out[i] = self._solve(float(fxs[i]), masks, sizes, vals, pinv=pinv)
+        return out
 
     def mean_abs_shap(self, X: np.ndarray) -> np.ndarray:
         """Global importance: mean |SHAP| per feature over rows of ``X`` —

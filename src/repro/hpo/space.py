@@ -12,7 +12,9 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["Float", "Int", "Categorical", "SearchSpace"]
+from repro.ml.binning import TREE_METHODS
+
+__all__ = ["Float", "Int", "Categorical", "SearchSpace", "tree_method_param"]
 
 
 @dataclass(frozen=True)
@@ -97,6 +99,15 @@ class Categorical:
     def to_unit(self, value: Any) -> float:
         k = self.choices.index(value)
         return (k + 0.5) / len(self.choices)
+
+
+def tree_method_param() -> "Categorical":
+    """Categorical over the ensemble split-search methods.
+
+    Sweeping it in a study quantifies the (small) quality delta between
+    histogram and exact split finding alongside the usual knobs.
+    """
+    return Categorical(TREE_METHODS)
 
 
 Param = Float | Int | Categorical

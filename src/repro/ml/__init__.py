@@ -11,8 +11,14 @@ runtime-prediction feature model:
   boosting with L2-regularised leaf weights (the XGBoost objective).
 - :class:`~repro.ml.knn.KNeighborsRegressor` — KD-tree k-nearest-neighbour
   regression.
+
+All tree ensembles grow with histogram split finding by default
+(``tree_method="hist"``, see :mod:`repro.ml.binning`); the exact sorted
+search stays available as the reference implementation via
+``tree_method="exact"`` or ``REPRO_TREE_METHOD=exact``.
 """
 
+from repro.ml.binning import TREE_METHODS, BinnedMatrix, resolve_tree_method
 from repro.ml.boosting import GradientBoostingRegressor
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.knn import KNeighborsRegressor
@@ -23,4 +29,7 @@ __all__ = [
     "RandomForestRegressor",
     "GradientBoostingRegressor",
     "KNeighborsRegressor",
+    "BinnedMatrix",
+    "TREE_METHODS",
+    "resolve_tree_method",
 ]

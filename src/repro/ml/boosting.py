@@ -11,7 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import Regressor
-from repro.ml.tree import Tree, _Builder
+from repro.ml.binning import BinnedMatrix, resolve_tree_method
+from repro.ml.tree import Tree, _Builder, _HistBuilder
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_2d, check_fitted
 
@@ -31,6 +32,9 @@ class GradientBoostingRegressor(Regressor):
         Minimum gain to split (XGBoost γ).
     subsample, colsample:
         Per-round row and per-split column sampling fractions.
+    tree_method:
+        ``"hist"`` (features binned once per fit, shared by every round —
+        the default) or ``"exact"``; ``None`` reads ``REPRO_TREE_METHOD``.
     """
 
     def __init__(
@@ -45,6 +49,7 @@ class GradientBoostingRegressor(Regressor):
         subsample: float = 1.0,
         colsample: float = 1.0,
         seed: int | np.random.Generator | None = 0,
+        tree_method: str | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -64,6 +69,7 @@ class GradientBoostingRegressor(Regressor):
         self.subsample = subsample
         self.colsample = colsample
         self.seed = seed
+        self.tree_method = tree_method
         self.trees_: list[Tree] | None = None
         self.base_score_: float = 0.0
 
@@ -71,6 +77,10 @@ class GradientBoostingRegressor(Regressor):
         X, y = self._validate_fit(X, y)
         rng = default_rng(self.seed)
         n, n_features = X.shape
+        method = resolve_tree_method(self.tree_method)
+        # Bin once; every boosting round reuses the codes (row subsamples
+        # are views into them, the bin edges never move).
+        binned = BinnedMatrix.from_matrix(X) if method == "hist" else None
         self.base_score_ = float(y.mean())
         pred = np.full(n, self.base_score_)
         self.trees_ = []
@@ -78,14 +88,13 @@ class GradientBoostingRegressor(Regressor):
         for _ in range(self.n_estimators):
             # Squared loss: g = pred − y, h = 1.
             g = pred - y
-            h = np.ones(n)
             if self.subsample < 1.0:
                 rows = rng.random(n) < self.subsample
                 if not np.any(rows):
                     rows[rng.integers(0, n)] = True
             else:
                 rows = slice(None)
-            builder = _Builder(
+            kwargs = dict(
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,
                 min_samples_leaf=self.min_samples_leaf,
@@ -94,7 +103,14 @@ class GradientBoostingRegressor(Regressor):
                 min_gain=max(self.min_split_gain, 1e-12),
                 rng=rng,
             )
-            tree = builder.build(X[rows], g[rows], h[rows])
+            if binned is not None:
+                bm = binned if isinstance(rows, slice) else binned.take(rows)
+                tree = _HistBuilder(**kwargs).build_binned(
+                    bm, g[rows], None, unit_hessian=True
+                )
+            else:
+                h = np.ones(n)
+                tree = _Builder(**kwargs).build(X[rows], g[rows], h[rows])
             self.trees_.append(tree)
             pred += self.learning_rate * tree.predict(X)
         return self

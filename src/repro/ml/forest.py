@@ -6,6 +6,12 @@ less variance") and the engine of the runtime-prediction feature model.
 Trees train independently, so fitting fans out across processes via
 :func:`repro.utils.parallel.parallel_map` with per-tree seeds spawned from
 one root seed (results identical serial or parallel).
+
+With ``tree_method="hist"`` (the default) the feature matrix is
+quantile-binned to uint8 codes exactly once per ``fit`` and the resulting
+:class:`~repro.ml.binning.BinnedMatrix` is shared by every tree —
+bootstrap resamples are row subsets of the codes, so the binning cost is
+amortised across the whole ensemble.
 """
 
 from __future__ import annotations
@@ -15,9 +21,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.base import Regressor
-from repro.ml.tree import DecisionTreeRegressor, Tree, _Builder
+from repro.ml.binning import BinnedMatrix, resolve_tree_method
+from repro.ml.tree import DecisionTreeRegressor, Tree, _Builder, _HistBuilder
 from repro.utils.parallel import parallel_map
-from repro.utils.rng import spawn_rngs
 from repro.utils.validation import check_2d, check_fitted
 
 __all__ = ["RandomForestRegressor"]
@@ -25,9 +31,14 @@ __all__ = ["RandomForestRegressor"]
 
 @dataclass
 class _TreeTask:
-    """Picklable unit of work: grow one tree on a bootstrap sample."""
+    """Picklable unit of work: grow one tree on a bootstrap sample.
 
-    X: np.ndarray
+    Exactly one of ``X``/``binned`` is set: the raw matrix for the exact
+    sorted search, or the shared pre-binned codes for histogram growing.
+    """
+
+    X: np.ndarray | None
+    binned: BinnedMatrix | None
     y: np.ndarray
     max_depth: int
     min_samples_split: int
@@ -38,13 +49,9 @@ class _TreeTask:
 
     def __call__(self, _: int = 0) -> Tree:
         rng = np.random.default_rng(self.seed_state)
-        n = len(self.X)
-        if self.bootstrap:
-            idx = rng.integers(0, n, size=n)
-            Xb, yb = self.X[idx], self.y[idx]
-        else:
-            Xb, yb = self.X, self.y
-        builder = _Builder(
+        n = len(self.y)
+        idx = rng.integers(0, n, size=n) if self.bootstrap else slice(None)
+        kwargs = dict(
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             min_samples_leaf=self.min_samples_leaf,
@@ -53,7 +60,13 @@ class _TreeTask:
             min_gain=1e-12,
             rng=rng,
         )
-        return builder.build(Xb, -yb, np.ones_like(yb))
+        yb = self.y[idx]
+        if self.binned is not None:
+            bm = self.binned.take(idx) if self.bootstrap else self.binned
+            return _HistBuilder(**kwargs).build_binned(
+                bm, -yb, None, unit_hessian=True
+            )
+        return _Builder(**kwargs).build(self.X[idx], -yb, np.ones_like(yb))
 
 
 def _run_task(task: _TreeTask) -> Tree:
@@ -72,6 +85,9 @@ class RandomForestRegressor(Regressor):
         regression convention).
     n_jobs:
         Processes for tree fitting (1 = serial).
+    tree_method:
+        ``"hist"`` (histogram splits over a shared binned matrix, the
+        default) or ``"exact"``; ``None`` reads ``REPRO_TREE_METHOD``.
     """
 
     def __init__(
@@ -84,6 +100,7 @@ class RandomForestRegressor(Regressor):
         bootstrap: bool = True,
         seed: int | None = 0,
         n_jobs: int = 1,
+        tree_method: str | None = None,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -95,16 +112,20 @@ class RandomForestRegressor(Regressor):
         self.bootstrap = bootstrap
         self.seed = seed
         self.n_jobs = n_jobs
+        self.tree_method = tree_method
         self.trees_: list[Tree] | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
         X, y = self._validate_fit(X, y)
+        method = resolve_tree_method(self.tree_method)
+        binned = BinnedMatrix.from_matrix(X) if method == "hist" else None
         proto = DecisionTreeRegressor(max_features=self.max_features)
         mf = proto._resolve_max_features(X.shape[1])
         seeds = np.random.SeedSequence(self.seed).spawn(self.n_estimators)
         tasks = [
             _TreeTask(
-                X=X,
+                X=None if binned is not None else X,
+                binned=binned,
                 y=y,
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,

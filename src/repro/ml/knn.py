@@ -16,6 +16,12 @@ from repro.utils.validation import check_2d, check_fitted
 
 __all__ = ["KNeighborsRegressor"]
 
+#: Cap on (rows × k) entries materialised per prediction block.  The
+#: KD-tree query and the neighbour gathers allocate several arrays of that
+#: shape; unchunked, a wide query (big trace × big k) peaks at hundreds of
+#: MB.  ~1M entries keeps the transient footprint around 8 MB per array.
+_QUERY_BLOCK_ENTRIES = 1 << 20
+
 
 class KNeighborsRegressor(Regressor):
     """kNN with uniform or inverse-distance weights.
@@ -49,6 +55,15 @@ class KNeighborsRegressor(Regressor):
         check_fitted(self, "tree_")
         X = check_2d(X, "X")
         k = min(self.n_neighbors, len(self._y))
+        # Bounded row blocks: peak memory stays O(block × k) however large
+        # the query matrix is.
+        block = max(1, _QUERY_BLOCK_ENTRIES // k)
+        out = np.empty(len(X))
+        for a in range(0, len(X), block):
+            out[a : a + block] = self._predict_block(X[a : a + block], k)
+        return out
+
+    def _predict_block(self, X: np.ndarray, k: int) -> np.ndarray:
         dist, idx = self.tree_.query(X, k=k)
         if k == 1:
             dist = dist[:, None]

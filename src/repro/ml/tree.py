@@ -1,9 +1,15 @@
 """CART regression trees with vectorised split search.
 
 The tree is grown with an explicit node stack; at each node, every
-candidate feature's best threshold is found with one sort plus prefix-sum
-arithmetic (no per-threshold Python loop), and prediction walks the flat
-node arrays level-synchronously for whole batches at once.
+candidate feature's best threshold is found either by the exact sorted
+search (one sort plus prefix-sum arithmetic per feature) or by the
+histogram method (``tree_method="hist"``, the default): features are
+quantile-binned to uint8 once per fit (:mod:`repro.ml.binning`), per-node
+(grad, hessian, count) histograms come from one flattened ``np.bincount``,
+every bin boundary is scored in a single cumulative-sum pass, and sibling
+histograms are derived by subtraction.  Prediction walks the flat node
+arrays level-synchronously for whole batches at once and is method-agnostic
+(hist thresholds live in raw feature space).
 
 Two split criteria share the machinery:
 
@@ -20,6 +26,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ml.base import Regressor
+from repro.ml.binning import (
+    BinnedMatrix,
+    evaluate_splits,
+    grouped_histograms,
+    resolve_tree_method,
+    sampled_histograms,
+)
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_2d, check_fitted
 
@@ -130,6 +143,37 @@ def _best_split_feature(
     return float(gain[best]), thr
 
 
+class _NodeArrays:
+    """Append-only flat node storage shared by both builders."""
+
+    def __init__(self) -> None:
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[float] = []
+        self.n_samples: list[int] = []
+
+    def new_node(self) -> int:
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(0.0)
+        self.n_samples.append(0)
+        return len(self.feature) - 1
+
+    def freeze(self) -> Tree:
+        return Tree(
+            feature=np.asarray(self.feature, dtype=np.int32),
+            threshold=np.asarray(self.threshold, dtype=np.float64),
+            left=np.asarray(self.left, dtype=np.int32),
+            right=np.asarray(self.right, dtype=np.int32),
+            value=np.asarray(self.value, dtype=np.float64),
+            n_samples=np.asarray(self.n_samples, dtype=np.int64),
+        )
+
+
 class _Builder:
     """Grows one tree on (g, h) pairs; shared by CART and boosting."""
 
@@ -151,38 +195,25 @@ class _Builder:
         self.min_gain = min_gain
         self.rng = rng
 
+    def _sample_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is not None and self.max_features < n_features:
+            return self.rng.choice(n_features, self.max_features, replace=False)
+        return np.arange(n_features)
+
     def build(self, X: np.ndarray, g: np.ndarray, h: np.ndarray) -> Tree:
         n_features = X.shape[1]
-        feature: list[int] = []
-        threshold: list[float] = []
-        left: list[int] = []
-        right: list[int] = []
-        value: list[float] = []
-        n_samples: list[int] = []
-
-        def new_node() -> int:
-            feature.append(_LEAF)
-            threshold.append(0.0)
-            left.append(_LEAF)
-            right.append(_LEAF)
-            value.append(0.0)
-            n_samples.append(0)
-            return len(feature) - 1
-
-        root = new_node()
+        nodes = _NodeArrays()
+        root = nodes.new_node()
         stack: list[tuple[int, np.ndarray, int]] = [(root, np.arange(len(X)), 0)]
         while stack:
             node, idx, depth = stack.pop()
             Gi = g[idx]
             Hi = h[idx]
-            n_samples[node] = len(idx)
-            value[node] = float(-Gi.sum() / (Hi.sum() + self.lam))
+            nodes.n_samples[node] = len(idx)
+            nodes.value[node] = float(-Gi.sum() / (Hi.sum() + self.lam))
             if depth >= self.max_depth or len(idx) < self.min_samples_split:
                 continue
-            if self.max_features is not None and self.max_features < n_features:
-                feats = self.rng.choice(n_features, self.max_features, replace=False)
-            else:
-                feats = np.arange(n_features)
+            feats = self._sample_features(n_features)
             best_gain, best_f, best_thr = self.min_gain, -1, 0.0
             Xi = X[idx]
             for f in feats:
@@ -197,22 +228,289 @@ class _Builder:
             li, ri = idx[mask], idx[~mask]
             if len(li) < self.min_samples_leaf or len(ri) < self.min_samples_leaf:
                 continue
-            feature[node] = best_f
-            threshold[node] = best_thr
-            ln = new_node()
-            rn = new_node()
-            left[node] = ln
-            right[node] = rn
+            nodes.feature[node] = best_f
+            nodes.threshold[node] = best_thr
+            ln = nodes.new_node()
+            rn = nodes.new_node()
+            nodes.left[node] = ln
+            nodes.right[node] = rn
             stack.append((ln, li, depth + 1))
             stack.append((rn, ri, depth + 1))
+        return nodes.freeze()
+
+
+#: Cap (in float64 entries) on transient per-level histogram blocks; levels
+#: whose eval-node histograms would exceed it are processed in slot blocks
+#: without retaining hists for subtraction.
+_HIST_ENTRY_BUDGET = 1 << 23
+
+
+class _HistBuilder(_Builder):
+    """Level-synchronous histogram growth over a :class:`BinnedMatrix`.
+
+    Same growth policy and gain arithmetic as :class:`_Builder`, but the
+    tree is grown one depth level at a time: histograms for every
+    splittable node of the level come from a single flattened
+    ``np.bincount`` (cost ``O(live_rows × F)`` per level, independent of
+    node count), all bin boundaries of all features of all nodes are scored
+    in one cumulative-sum pass, and below the root only each pair's smaller
+    child is accumulated — its sibling's histogram is the parent's minus
+    the smaller child's.
+    """
+
+    def build_binned(
+        self,
+        bm: BinnedMatrix,
+        g: np.ndarray,
+        h: np.ndarray | None,
+        unit_hessian: bool = False,
+    ) -> Tree:
+        """Grow a tree on binned codes; ``h`` may be None iff unit_hessian."""
+        f_all = bm.n_features
+        hv = None if unit_hessian else h
+        n = bm.n_rows
+        rows = np.arange(n, dtype=np.intp)  # rows still in splittable nodes
+        slot = np.zeros(n, dtype=np.intp)  # level-local node index per row
+        cnt = np.array([n], dtype=np.int64)
+        gsum = np.array([g.sum()])
+        hsum = np.array([float(n) if unit_hessian else h.sum()])
+        depth = 0
+        blocks: list[tuple[np.ndarray, ...]] = []  # one node block per level
+        lo = 0  # node id of the level's first node
+        # Histograms of the previous level's split nodes, ordered by pair:
+        # child slots 2t / 2t+1 descend from parent_hists[t].
+        parent_hists: tuple[np.ndarray, ...] | None = None
+        while True:
+            k = len(cnt)
+            feature = np.full(k, _LEAF, dtype=np.int32)
+            threshold = np.zeros(k)
+            left = np.full(k, _LEAF, dtype=np.int32)
+            right = np.full(k, _LEAF, dtype=np.int32)
+            value = -gsum / (hsum + self.lam)
+            # Splitting nodes mutate this block in place below.
+            blocks.append((feature, threshold, left, right, value, cnt))
+            if depth >= self.max_depth:
+                break
+            eligible = np.flatnonzero(cnt >= self.min_samples_split)
+            if not len(eligible):
+                break
+            feat_mask = fcols = None
+            if self.max_features is not None and self.max_features < f_all:
+                # One vectorised draw for the whole level: each node keeps
+                # the max_features features with the smallest uniforms
+                # (a without-replacement sample per node).
+                u = self.rng.random((len(eligible), f_all))
+                keep_f = np.argpartition(u, self.max_features - 1, axis=1)
+                fcols = keep_f[:, : self.max_features].astype(np.intp)
+                feat_mask = np.zeros((len(eligible), f_all), dtype=bool)
+                np.put_along_axis(feat_mask, fcols, True, axis=1)
+            gain, best_f, best_thr, best_b, lg, lh, lc, ev_hists = (
+                self._level_splits(
+                    bm, rows, slot, cnt, gsum, hsum, eligible, parent_hists,
+                    g, hv, feat_mask, fcols,
+                )
+            )
+            win = np.flatnonzero(gain > self.min_gain)
+            if not len(win):
+                break
+            # Children are created in ascending slot order, so the next
+            # level's ids are contiguous and pair t sits at slots 2t/2t+1.
+            s = eligible[win]
+            new_lo = lo + k
+            nw = len(win)
+            feature[s] = best_f[win]
+            threshold[s] = best_thr[win]
+            left[s] = new_lo + 2 * np.arange(nw, dtype=np.int32)
+            right[s] = left[s] + 1
+            if ev_hists is not None:
+                pg, ph, pc = ev_hists
+                pgw, pcw = pg[win], pc[win]
+                parent_hists = (pgw, pcw if ph is pc else ph[win], pcw)
+            else:
+                parent_hists = None
+            # Children's node statistics come from the chosen split's
+            # left-side sums — no per-row rescan.
+            cnt_next = np.empty(2 * nw, dtype=np.int64)
+            cnt_next[0::2] = lc[win].astype(np.int64)
+            cnt_next[1::2] = cnt[s] - cnt_next[0::2]
+            gsum_next = np.empty(2 * nw)
+            gsum_next[0::2] = lg[win]
+            gsum_next[1::2] = gsum[s] - lg[win]
+            hsum_next = np.empty(2 * nw)
+            hsum_next[0::2] = lh[win]
+            hsum_next[1::2] = hsum[s] - lh[win]
+            # Route rows of split nodes to their children; drop leaf rows.
+            # Splits compare in global-code space (offset[f] + bin), so
+            # only ``global_codes`` is touched per row.
+            split_t = np.full(k, -1, dtype=np.intp)
+            split_t[s] = np.arange(nw, dtype=np.intp)
+            f_w = best_f[win].astype(np.intp)
+            gb_w = bm.offsets[f_w] + best_b[win]
+            t_row = split_t[slot]
+            ix = np.flatnonzero(t_row >= 0)
+            rows = rows.take(ix)
+            t = t_row.take(ix)
+            go_right = bm.global_codes[rows, f_w.take(t)] > gb_w.take(t)
+            slot = 2 * t
+            slot += go_right
+            cnt, gsum, hsum = cnt_next, gsum_next, hsum_next
+            lo = new_lo
+            depth += 1
         return Tree(
-            feature=np.asarray(feature, dtype=np.int32),
-            threshold=np.asarray(threshold, dtype=np.float64),
-            left=np.asarray(left, dtype=np.int32),
-            right=np.asarray(right, dtype=np.int32),
-            value=np.asarray(value, dtype=np.float64),
-            n_samples=np.asarray(n_samples, dtype=np.int64),
+            feature=np.concatenate([b[0] for b in blocks]),
+            threshold=np.concatenate([b[1] for b in blocks]),
+            left=np.concatenate([b[2] for b in blocks]),
+            right=np.concatenate([b[3] for b in blocks]),
+            value=np.concatenate([b[4] for b in blocks]),
+            n_samples=np.concatenate([b[5] for b in blocks]),
         )
+
+    def _level_splits(
+        self,
+        bm: BinnedMatrix,
+        rows: np.ndarray,
+        slot: np.ndarray,
+        cnt: np.ndarray,
+        gsum: np.ndarray,
+        hsum: np.ndarray,
+        eligible: np.ndarray,
+        parent_hists: tuple[np.ndarray, ...] | None,
+        g: np.ndarray,
+        hv: np.ndarray | None,
+        feat_mask: np.ndarray | None,
+        fcols: np.ndarray | None,
+    ) -> tuple[np.ndarray, ...]:
+        """Best split per eligible slot.
+
+        Returns per-eligible-node (gain, feature, threshold, bin,
+        left_grad, left_hess, left_count) plus the eligible nodes'
+        histograms (for next-level sibling subtraction), or ``None`` for
+        the latter when subtraction does not apply (feature-subsampled
+        levels, or levels over the histogram memory budget).
+
+        With feature subsampling on (``fcols`` given), only each node's
+        drawn columns are accumulated (:func:`sampled_histograms`) and the
+        node totals come from the builder's running sums; sibling
+        subtraction is skipped because children draw fresh feature
+        subsets, making parent histograms non-reusable.  Without
+        subsampling, every slot is accumulated directly at the root and
+        below it only each pair's smaller child is — its sibling's
+        histogram is the parent's minus the smaller child's.
+        """
+        w = bm.width
+        ne = len(eligible)
+        lam, min_leaf = self.lam, self.min_samples_leaf
+        if fcols is not None:
+            lut = np.full(len(cnt), -1, dtype=np.intp)
+            lut[eligible] = np.arange(ne)
+            grp = lut[slot]
+            m = grp >= 0
+            r, gm = (rows, grp) if m.all() else (rows[m], grp[m])
+            totals = (gsum[eligible], hsum[eligible], cnt[eligible])
+            if ne * w > _HIST_ENTRY_BUDGET:
+                # Rare huge level: bound memory by scoring nodes in blocks.
+                block = max(1, _HIST_ENTRY_BUDGET // w)
+                parts = []
+                for a in range(0, ne, block):
+                    nb = min(block, ne - a)
+                    mb = (gm >= a) & (gm < a + nb)
+                    grad, hess, count = sampled_histograms(
+                        bm, r[mb], gm[mb] - a, nb, g, hv, fcols[a : a + nb]
+                    )
+                    parts.append(
+                        evaluate_splits(
+                            grad, hess if hess is not None else count, count,
+                            bm, min_leaf, lam, feat_mask[a : a + nb],
+                            totals=tuple(t[a : a + nb] for t in totals),
+                        )
+                    )
+                return tuple(
+                    np.concatenate([p[i] for p in parts]) for i in range(7)
+                ) + (None,)
+            grad, hess, count = sampled_histograms(bm, r, gm, ne, g, hv, fcols)
+            out = evaluate_splits(
+                grad, hess if hess is not None else count, count,
+                bm, min_leaf, lam, feat_mask, totals=totals,
+            )
+            return out + (None,)
+
+        if ne * w > _HIST_ENTRY_BUDGET:
+            # Rare huge level: bound memory by scoring eligible slots in
+            # blocks and skip histogram retention (next level goes direct).
+            block = max(1, _HIST_ENTRY_BUDGET // w)
+            parts = []
+            for a in range(0, ne, block):
+                sub = eligible[a : a + block]
+                lut = np.full(len(cnt), -1, dtype=np.intp)
+                lut[sub] = np.arange(len(sub))
+                grp = lut[slot]
+                m = grp >= 0
+                grad, hess, count = grouped_histograms(
+                    bm, rows[m], grp[m], len(sub), g, hv
+                )
+                parts.append(
+                    evaluate_splits(
+                        grad, hess if hess is not None else count, count,
+                        bm, min_leaf, lam, None,
+                    )
+                )
+            return tuple(
+                np.concatenate([p[i] for p in parts]) for i in range(7)
+            ) + (None,)
+
+        if parent_hists is None:
+            # Root level (or post-fallback): accumulate every slot directly.
+            if ne == 1 and len(cnt) == 1 and len(rows) == bm.n_rows:
+                grad, hess, count = grouped_histograms(bm, None, None, 1, g, hv)
+            else:
+                lut = np.full(len(cnt), -1, dtype=np.intp)
+                lut[eligible] = np.arange(ne)
+                grp = lut[slot]
+                m = grp >= 0
+                if m.all():
+                    grad, hess, count = grouped_histograms(
+                        bm, rows, grp, ne, g, hv
+                    )
+                else:
+                    grad, hess, count = grouped_histograms(
+                        bm, rows[m], grp[m], ne, g, hv
+                    )
+        else:
+            # Sibling subtraction: bincount only each pair's smaller child;
+            # the larger eligible child is parent − smaller sibling.
+            sib = eligible ^ 1
+            is_small = (cnt[eligible] < cnt[sib]) | (
+                (cnt[eligible] == cnt[sib]) & (eligible < sib)
+            )
+            direct = np.unique(np.where(is_small, eligible, sib))
+            lut = np.full(len(cnt), -1, dtype=np.intp)
+            lut[direct] = np.arange(len(direct))
+            grp = lut[slot]
+            m = grp >= 0
+            d_grad, d_hess, d_count = grouped_histograms(
+                bm, rows[m], grp[m], len(direct), g, hv
+            )
+            small_ix = lut[np.where(is_small, eligible, sib)]
+            grad = d_grad[small_ix]
+            count = d_count[small_ix]
+            hess = d_hess[small_ix] if d_hess is not None else None
+            der = np.flatnonzero(~is_small)
+            if len(der):
+                pair = eligible[der] // 2
+                pg, ph, pc = parent_hists
+                grad[der] = pg[pair] - grad[der]
+                count[der] = pc[pair] - count[der]
+                if hess is not None:
+                    hess[der] = ph[pair] - hess[der]
+        ev_hists = (
+            grad,
+            hess if hess is not None else count,
+            count,
+        )
+        out = evaluate_splits(
+            ev_hists[0], ev_hists[1], ev_hists[2], bm, min_leaf, lam, feat_mask
+        )
+        return out + (ev_hists,)
 
 
 class DecisionTreeRegressor(Regressor):
@@ -220,6 +518,11 @@ class DecisionTreeRegressor(Regressor):
 
     Parameters follow the scikit-learn vocabulary.  ``max_features`` may be
     ``None`` (all), an int, a float fraction, or ``"sqrt"``.
+    ``tree_method`` selects histogram (``"hist"``, the default) or exact
+    sorted split search; ``None`` reads ``REPRO_TREE_METHOD``.  Both are
+    deterministic for a fixed seed; hist splits coincide with exact ones
+    whenever features have at most 256 distinct values, and otherwise land
+    on quantile-bin boundaries.
     """
 
     def __init__(
@@ -229,6 +532,7 @@ class DecisionTreeRegressor(Regressor):
         min_samples_leaf: int = 1,
         max_features: int | float | str | None = None,
         seed: int | np.random.Generator | None = None,
+        tree_method: str | None = None,
     ) -> None:
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")
@@ -241,6 +545,7 @@ class DecisionTreeRegressor(Regressor):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.seed = seed
+        self.tree_method = tree_method
         self.tree_: Tree | None = None
 
     def _resolve_max_features(self, n_features: int) -> int | None:
@@ -261,7 +566,8 @@ class DecisionTreeRegressor(Regressor):
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
         X, y = self._validate_fit(X, y)
-        builder = _Builder(
+        method = resolve_tree_method(self.tree_method)
+        kwargs = dict(
             max_depth=self.max_depth,
             min_samples_split=self.min_samples_split,
             min_samples_leaf=self.min_samples_leaf,
@@ -272,7 +578,13 @@ class DecisionTreeRegressor(Regressor):
         )
         # MSE criterion as a second-order objective: g = −y, h = 1 gives
         # leaf value mean(y) and gain ∝ variance reduction.
-        self.tree_ = builder.build(X, -y, np.ones_like(y))
+        if method == "hist":
+            bm = BinnedMatrix.from_matrix(X)
+            self.tree_ = _HistBuilder(**kwargs).build_binned(
+                bm, -y, None, unit_hessian=True
+            )
+        else:
+            self.tree_ = _Builder(**kwargs).build(X, -y, np.ones_like(y))
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
