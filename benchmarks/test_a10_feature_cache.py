@@ -8,14 +8,13 @@ bench measures a cold build vs a warm hit over the benchmark trace and
 requires the hit to be at least 10× faster and byte-identical.
 """
 
-import time
-
 import numpy as np
 
 from benchmarks.conftest import emit, once
 from repro.eval.report import format_table, format_timing_report
 from repro.features.cache import FeatureCache
 from repro.features.pipeline import FeaturePipeline
+from repro.obs import tracing
 
 
 def test_a10_cache_hit_speedup(benchmark, bench_trace, tmp_path):
@@ -25,12 +24,11 @@ def test_a10_cache_hit_speedup(benchmark, bench_trace, tmp_path):
     cache = FeatureCache(tmp_path / "features")
     pipeline = FeaturePipeline(cluster, cache=cache, n_jobs=1)
 
-    t0 = time.perf_counter()
-    cold = pipeline.compute(jobs)
-    t_cold = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    warm = pipeline.compute(jobs)
-    t_warm = time.perf_counter() - t0
+    with tracing.span("a10.cold") as rec_cold:
+        cold = pipeline.compute(jobs)
+    with tracing.span("a10.warm") as rec_warm:
+        warm = pipeline.compute(jobs)
+    t_cold, t_warm = rec_cold.elapsed, rec_warm.elapsed
 
     assert not cold.cache_hit and warm.cache_hit
     assert cold.X.tobytes() == warm.X.tobytes()

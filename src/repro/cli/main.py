@@ -10,6 +10,13 @@ Subcommands
 - ``trout predict`` — Algorithm 1 on an existing job id from a trace.
 - ``trout hypothetical`` — §V's future-work feature: predict for a job
   that was never submitted, given its requested resources.
+- ``trout telemetry`` — pretty-print a telemetry snapshot saved by a
+  previous run's ``--telemetry=json --telemetry-out``.
+
+``simulate``, ``train`` and ``predict`` accept ``--telemetry[=FMT]``
+(``report``, ``json`` or ``prom``): telemetry is force-enabled for the
+run and a snapshot is dumped on exit — to stdout, or to
+``--telemetry-out PATH``.
 """
 
 from __future__ import annotations
@@ -37,6 +44,23 @@ from repro.workload import WorkloadConfig, generate_trace
 __all__ = ["main", "build_parser"]
 
 
+def _add_telemetry_args(sp: argparse.ArgumentParser) -> None:
+    sp.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="report",
+        choices=("report", "json", "prom"),
+        default=None,
+        help="dump a telemetry snapshot on exit (bare flag = report)",
+    )
+    sp.add_argument(
+        "--telemetry-out",
+        type=Path,
+        default=None,
+        help="write the telemetry dump to this file instead of stdout",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="trout", description="Hierarchical HPC queue-time prediction"
@@ -50,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--load", type=float, default=0.28, help="target pool load")
     sim.add_argument("--scale", type=float, default=0.05, help="cluster scale")
     sim.add_argument("--out", type=Path, required=True, help="output .swf path")
+    _add_telemetry_args(sim)
 
     st = sub.add_parser("stats", help="describe a trace")
     st.add_argument("--trace", type=Path, required=True)
@@ -82,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="split search for the runtime-model forest "
         "(default: $REPRO_TREE_METHOD or hist)",
     )
+    _add_telemetry_args(tr)
 
     pr = sub.add_parser("predict", help="predict for an existing job")
     pr.add_argument("--model", type=Path, required=True)
@@ -93,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also report an 80%% MC-dropout prediction interval",
     )
+    _add_telemetry_args(pr)
 
     qu = sub.add_parser("queue", help="squeue-style view of the queue at a time")
     qu.add_argument("--trace", type=Path, required=True)
@@ -117,6 +144,13 @@ def build_parser() -> argparse.ArgumentParser:
     hy.add_argument("--nodes", type=int, default=1)
     hy.add_argument("--timelimit-min", type=float, default=240.0)
     hy.add_argument("--user-id", type=int, default=0)
+
+    te = sub.add_parser(
+        "telemetry", help="pretty-print a saved telemetry snapshot"
+    )
+    te.add_argument(
+        "snapshot", type=Path, help="JSON snapshot from --telemetry=json"
+    )
     return p
 
 
@@ -286,6 +320,40 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.export import render_snapshot
+
+    try:
+        snap = json.loads(args.snapshot.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read snapshot {args.snapshot}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        print(render_snapshot(snap))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _dump_telemetry(fmt: str, out: Path | None) -> None:
+    from repro.obs import export
+
+    if fmt == "prom":
+        text = export.to_prometheus()
+    elif fmt == "json":
+        text = export.to_json()
+    else:
+        text = export.render_report()
+    if out is not None:
+        out.write_text(text.rstrip("\n") + "\n")
+        print(f"telemetry written to {out}")
+    else:
+        print(text)
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "stats": _cmd_stats,
@@ -293,6 +361,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "queue": _cmd_queue,
     "hypothetical": _cmd_hypothetical,
+    "telemetry": _cmd_telemetry,
 }
 
 
@@ -300,7 +369,17 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
         enable_console_logging()
-    return _COMMANDS[args.command](args)
+    fmt = getattr(args, "telemetry", None)
+    if fmt is not None:
+        # The flag overrides REPRO_TELEMETRY=0: asking for a dump implies
+        # wanting it populated.
+        from repro.obs.metrics import set_enabled
+
+        set_enabled(True)
+    rc = _COMMANDS[args.command](args)
+    if fmt is not None:
+        _dump_telemetry(fmt, args.telemetry_out)
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

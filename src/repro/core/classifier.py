@@ -14,7 +14,15 @@ import numpy as np
 
 from repro.core.config import ClassifierConfig
 from repro.features.transforms import StandardScaler
-from repro.nn import Activation, Adam, Dense, Dropout, EarlyStopping, Sequential
+from repro.nn import (
+    Activation,
+    Adam,
+    Dense,
+    Dropout,
+    EarlyStopping,
+    MetricsCallback,
+    Sequential,
+)
 from repro.sampling import balance_binary
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_2d, check_fitted
@@ -104,7 +112,7 @@ class QuickStartClassifier:
             epochs=cfg.epochs,
             batch_size=cfg.batch_size,
             validation_data=(Xval, yval),
-            callbacks=[stopper],
+            callbacks=[stopper, MetricsCallback(model="classifier")],
             seed=rng,
         )
         return self

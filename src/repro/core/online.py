@@ -28,6 +28,7 @@ from repro.eval.metrics import (
     mean_absolute_percentage_error,
 )
 from repro.nn import Adam
+from repro.obs import metrics, tracing
 from repro.utils.logging import get_logger
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_1d, check_2d, check_consistent_length
@@ -47,12 +48,22 @@ class OnlineConfig:
     lr: float = 2e-4  # reduced fine-tuning rate
     batch_size: int = 256
     seed: int = 0
+    #: Drift alarm: rolling MAPE over the last ``drift_window`` long-wait
+    #: jobs; crossing ``drift_mape_threshold`` (rising edge) bumps the
+    #: ``online_drift_alarms_total`` counter.  ``None`` disables alarms.
+    drift_mape_threshold: float | None = 200.0
+    drift_window: int = 500
+    drift_min_samples: int = 50  # rolling MAPE undefined below this
 
     def __post_init__(self) -> None:
         if self.window < 10 or self.refresh_every < 1:
             raise ValueError("window must be >= 10 and refresh_every >= 1")
         if self.epochs < 1 or self.lr <= 0:
             raise ValueError("epochs must be >= 1 and lr positive")
+        if self.drift_mape_threshold is not None and self.drift_mape_threshold <= 0:
+            raise ValueError("drift_mape_threshold must be positive (or None)")
+        if self.drift_window < 1 or self.drift_min_samples < 1:
+            raise ValueError("drift_window and drift_min_samples must be >= 1")
 
 
 @dataclass
@@ -94,6 +105,19 @@ class OnlineTrout:
         self.n_refreshes = 0
         self.drift = _DriftStats()
         self._rng = default_rng(self.config.seed)
+        # Rolling drift window: (ape_sum, n_long) per observed batch.
+        self._roll: deque[tuple[float, int]] = deque()
+        self._roll_sum = 0.0
+        self._roll_n = 0
+        self._in_drift = False
+        self.n_drift_alarms = 0
+
+    @property
+    def rolling_mape(self) -> float:
+        """MAPE over the last ``drift_window`` long-wait stream jobs."""
+        if self._roll_n < self.config.drift_min_samples:
+            return float("nan")
+        return self._roll_sum / self._roll_n
 
     # ------------------------------------------------------------------ #
     def observe(self, X: np.ndarray, minutes: np.ndarray) -> None:
@@ -124,12 +148,64 @@ class OnlineTrout:
             ape = 100.0 * np.abs(pred - minutes[long_mask]) / minutes[long_mask]
             self.drift.reg_ape_sum += float(ape.sum())
             self.drift.n_long += int(long_mask.sum())
+            self._roll.append((float(ape.sum()), int(long_mask.sum())))
+            self._roll_sum += float(ape.sum())
+            self._roll_n += int(long_mask.sum())
+            while (
+                len(self._roll) > 1
+                and self._roll_n - self._roll[0][1] >= self.config.drift_window
+            ):
+                s, k = self._roll.popleft()
+                self._roll_sum -= s
+                self._roll_n -= k
+        self._publish_drift()
+
+    def _publish_drift(self) -> None:
+        """Prequential gauges + rising-edge drift alarm."""
+        reg = metrics.get_registry()
+        reg.gauge(
+            "online_prequential_accuracy",
+            help="classifier accuracy on the incoming stream (pre-update)",
+        ).set(self.drift.classifier_accuracy if self.drift.n_seen else 0.0)
+        if self.drift.n_long:
+            reg.gauge(
+                "online_prequential_mape",
+                help="regressor MAPE (%) on the incoming stream (pre-update)",
+            ).set(self.drift.regressor_mape)
+        rolling = self.rolling_mape
+        threshold = self.config.drift_mape_threshold
+        if not np.isnan(rolling):
+            reg.gauge(
+                "online_rolling_mape",
+                help="regressor MAPE (%) over the recent drift window",
+            ).set(rolling)
+        if threshold is None or np.isnan(rolling):
+            return
+        if rolling > threshold:
+            if not self._in_drift:
+                self._in_drift = True
+                self.n_drift_alarms += 1
+                reg.counter(
+                    "online_drift_alarms_total",
+                    help="rolling MAPE crossed the drift threshold",
+                ).inc()
+                log.warning(
+                    "drift alarm: rolling MAPE %.1f%% > threshold %.1f%%",
+                    rolling,
+                    threshold,
+                )
+        else:
+            self._in_drift = False
 
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
         """Fine-tune both networks on the sliding window."""
         if self._buffered < 10:
             return
+        with tracing.span("online.refresh", buffered=self._buffered):
+            self._refresh()
+
+    def _refresh(self) -> None:
         cfg = self.config
         X = np.concatenate(list(self._X))
         minutes = np.concatenate(list(self._m))
@@ -157,6 +233,9 @@ class OnlineTrout:
             )
         self._since_refresh = 0
         self.n_refreshes += 1
+        metrics.get_registry().counter(
+            "online_refreshes_total", help="online fine-tuning refreshes"
+        ).inc()
         log.info(
             "online refresh %d on %d buffered jobs (stream acc %.3f)",
             self.n_refreshes,

@@ -22,6 +22,7 @@ from repro.nn import (
     Dense,
     Dropout,
     EarlyStopping,
+    MetricsCallback,
     Sequential,
     SmoothL1Loss,
 )
@@ -102,7 +103,7 @@ class QueueTimeRegressor:
             epochs=cfg.epochs,
             batch_size=cfg.batch_size,
             validation_data=(Xval, yval),
-            callbacks=[stopper],
+            callbacks=[stopper, MetricsCallback(model="regressor")],
             seed=rng,
         )
         return self

@@ -34,6 +34,7 @@ from repro.eval.metrics import (
     within_percent_error,
 )
 from repro.features.pipeline import FeatureMatrix, FeaturePipeline
+from repro.obs import metrics, tracing
 from repro.slurm.resources import Cluster
 from repro.utils.logging import get_logger
 
@@ -114,8 +115,9 @@ def build_feature_matrix(
     n = len(jobs)
     n_rt = max(10, int(n * config.test_fraction))
     runtime = RuntimePredictor(config.runtime_model, seed=config.seed)
-    runtime.fit(jobs[np.arange(n_rt)])
-    pred = runtime.predict_minutes(jobs)
+    with tracing.span("runtime_model", rows=n_rt):
+        runtime.fit(jobs[np.arange(n_rt)])
+        pred = runtime.predict_minutes(jobs)
     pipeline = FeaturePipeline(cluster, n_jobs=n_jobs, cache=cache)
     fm = pipeline.compute(jobs, pred_runtime_min=pred)
     if fm.cache_hit:
@@ -147,19 +149,20 @@ def run_regression_cv(
             raise ValueError(
                 f"fold {k}: too few long-wait jobs (train={len(tr)}, test={len(te)})"
             )
-        if tuning is not None:
-            import dataclasses
+        with tracing.span("cv_fold", fold=k, n_train=len(tr), n_test=len(te)):
+            if tuning is not None:
+                import dataclasses
 
-            from repro.core.tuning import tune_regressor
+                from repro.core.tuning import tune_regressor
 
-            fold_tuning = dataclasses.replace(tuning, seed=tuning.seed + k)
-            reg, _study = tune_regressor(fm.X[tr], q[tr], fold_tuning)
-        else:
-            reg = QueueTimeRegressor(
-                fm.X.shape[1], config.regressor, seed=config.seed + k
-            )
-            reg.fit(fm.X[tr], q[tr])
-        pred = reg.predict_minutes(fm.X[te])
+                fold_tuning = dataclasses.replace(tuning, seed=tuning.seed + k)
+                reg, _study = tune_regressor(fm.X[tr], q[tr], fold_tuning)
+            else:
+                reg = QueueTimeRegressor(
+                    fm.X.shape[1], config.regressor, seed=config.seed + k
+                )
+                reg.fit(fm.X[tr], q[tr])
+            pred = reg.predict_minutes(fm.X[te])
         results.append(
             FoldResult(
                 fold=k,
@@ -172,6 +175,14 @@ def run_regression_cv(
                 y_pred=pred,
             )
         )
+        reg_metrics = metrics.get_registry()
+        fold_labels = {"fold": str(k)}
+        reg_metrics.gauge(
+            "cv_fold_mape", help="per-fold regression MAPE (%)", labels=fold_labels
+        ).set(results[-1].mape)
+        reg_metrics.gauge(
+            "cv_fold_pearson", help="per-fold Pearson r", labels=fold_labels
+        ).set(results[-1].pearson)
         log.info(
             "fold %d: mape=%.1f%% r=%.3f within100=%.2f",
             k,
@@ -198,11 +209,13 @@ def train_trout(
     y_long = (q > config.cutoff_min).astype(np.float64)
 
     clf = QuickStartClassifier(fm.X.shape[1], config.classifier, seed=config.seed)
-    clf.fit(fm.X[past], y_long[past])
+    with tracing.span("train.classifier", rows=len(past)):
+        clf.fit(fm.X[past], y_long[past])
 
     long_tr = past[q[past] > config.cutoff_min]
     reg = QueueTimeRegressor(fm.X.shape[1], config.regressor, seed=config.seed)
-    reg.fit(fm.X[long_tr], q[long_tr])
+    with tracing.span("train.regressor", rows=len(long_tr)):
+        reg.fit(fm.X[long_tr], q[long_tr])
 
     model = TroutModel(
         classifier=clf,
@@ -211,29 +224,37 @@ def train_trout(
         feature_names=fm.names,
     )
 
-    pred_long = clf.predict(fm.X[recent]).astype(np.float64)
-    truth = y_long[recent]
-    acc = binary_accuracy(truth, pred_long)
-    quick_mask = truth == 0
-    long_mask = truth == 1
-    acc_quick = (
-        binary_accuracy(truth[quick_mask], pred_long[quick_mask])
-        if np.any(quick_mask)
-        else float("nan")
-    )
-    acc_long = (
-        binary_accuracy(truth[long_mask], pred_long[long_mask])
-        if np.any(long_mask)
-        else float("nan")
-    )
-    long_te = recent[q[recent] > config.cutoff_min]
-    mape = (
-        mean_absolute_percentage_error(
-            q[long_te], reg.predict_minutes(fm.X[long_te])
+    with tracing.span("evaluate.holdout", rows=len(recent)):
+        pred_long = clf.predict(fm.X[recent]).astype(np.float64)
+        truth = y_long[recent]
+        acc = binary_accuracy(truth, pred_long)
+        quick_mask = truth == 0
+        long_mask = truth == 1
+        acc_quick = (
+            binary_accuracy(truth[quick_mask], pred_long[quick_mask])
+            if np.any(quick_mask)
+            else float("nan")
         )
-        if len(long_te)
-        else float("nan")
-    )
+        acc_long = (
+            binary_accuracy(truth[long_mask], pred_long[long_mask])
+            if np.any(long_mask)
+            else float("nan")
+        )
+        long_te = recent[q[recent] > config.cutoff_min]
+        mape = (
+            mean_absolute_percentage_error(
+                q[long_te], reg.predict_minutes(fm.X[long_te])
+            )
+            if len(long_te)
+            else float("nan")
+        )
+    reg_metrics = metrics.get_registry()
+    reg_metrics.gauge(
+        "holdout_classifier_accuracy", help="recent-holdout classifier accuracy"
+    ).set(acc)
+    reg_metrics.gauge(
+        "holdout_regressor_mape", help="recent-holdout long-wait MAPE (%)"
+    ).set(mape if np.isfinite(mape) else 0.0)
     log.info(
         "holdout: clf acc=%.4f (quick=%.4f long=%.4f), regressor mape=%.1f%%",
         acc,

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.data.schema import JobSet
 from repro.features.pipeline import FeatureMatrix
+from repro.obs import metrics
 from repro.utils.logging import get_logger
 
 __all__ = ["CACHE_VERSION", "CacheStats", "FeatureCache", "content_key"]
@@ -62,12 +63,24 @@ def content_key(
 
 @dataclass
 class CacheStats:
-    """Hit/miss accounting, surfaced by ``eval.report`` and the benches."""
+    """Hit/miss accounting, surfaced by ``eval.report`` and the benches.
+
+    Each bump mirrors into the process-wide telemetry registry
+    (``feature_cache_<event>_total``) so dashboards see cache behaviour
+    without holding a reference to the cache object.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalid: int = 0  # corrupt / stale-version entries discarded
+
+    def bump(self, event: str, n: int = 1) -> None:
+        setattr(self, event, getattr(self, event) + n)
+        metrics.get_registry().counter(
+            f"feature_cache_{event}_total",
+            help="feature-cache events by outcome",
+        ).inc(n)
 
 
 class FeatureCache:
@@ -114,7 +127,7 @@ class FeatureCache:
         """
         path = self.path_for(key)
         if not path.exists():
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         try:
             with np.load(path, allow_pickle=False) as z:
@@ -135,15 +148,15 @@ class FeatureCache:
             if fm.X.ndim != 2 or fm.X.shape[0] != len(fm.queue_time_min):
                 raise ValueError("cached matrix shape is inconsistent")
         except Exception as exc:
-            self.stats.invalid += 1
-            self.stats.misses += 1
+            self.stats.bump("invalid")
+            self.stats.bump("misses")
             log.warning("discarding unusable cache entry %s: %r", path.name, exc)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        self.stats.bump("hits")
         return fm
 
     def store(self, key: str, fm: FeatureMatrix) -> None:
@@ -171,7 +184,7 @@ class FeatureCache:
                     log_transformed=np.bool_(fm.log_transformed),
                 )
             os.replace(tmp, path)
-            self.stats.stores += 1
+            self.stats.bump("stores")
         except Exception as exc:  # pragma: no cover - disk-full etc.
             log.warning("failed to store cache entry %s: %r", path.name, exc)
             try:

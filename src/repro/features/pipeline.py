@@ -27,9 +27,9 @@ from repro.features.names import FEATURE_NAMES
 from repro.features.snapshots import partition_snapshots
 from repro.features.static_specs import static_partition_features
 from repro.features.user_history import user_past_day
+from repro.obs import metrics, tracing
 from repro.slurm.resources import Cluster
 from repro.utils.logging import get_logger
-from repro.utils.timing import Timer
 
 __all__ = ["FeatureMatrix", "FeaturePipeline", "resolve_n_jobs"]
 
@@ -59,8 +59,9 @@ class FeatureMatrix:
 
     ``X`` is the log1p-transformed matrix unless ``raw`` was requested;
     rows align with ``jobs`` (eligibility order preserved).  ``timings``
-    holds per-stage wall seconds from the producing pipeline run (empty on
-    a cache hit, which sets ``cache_hit`` instead).
+    holds per-stage wall seconds derived from the producing run's span
+    tree (see :mod:`repro.obs.tracing`; empty on a cache hit, which sets
+    ``cache_hit`` instead).
     """
 
     X: np.ndarray  # (n_jobs, 33)
@@ -170,9 +171,7 @@ class FeaturePipeline:
                 log.info("feature cache hit for %d jobs (key %s…)", n, key[:12])
                 return cached
 
-        timings: dict[str, float] = {}
-        t_total = Timer()
-        with t_total:
+        with tracing.span("featurize", rows=n, n_jobs=self.n_jobs) as root:
             cols: dict[str, np.ndarray] = {
                 "priority": rec["priority"].astype(np.float64),
                 "timelimit_raw": rec["timelimit_min"].astype(np.float64),
@@ -181,8 +180,7 @@ class FeaturePipeline:
                 "req_nodes": rec["req_nodes"].astype(np.float64),
                 "pred_runtime": pred,
             }
-            t = Timer()
-            with t:
+            with tracing.span("snapshots"):
                 cols.update(
                     partition_snapshots(
                         jobs,
@@ -192,18 +190,12 @@ class FeaturePipeline:
                         n_jobs=self.n_jobs,
                     )
                 )
-            timings["snapshots"] = t.elapsed
-            t = Timer()
-            with t:
+            with tracing.span("user_history"):
                 cols.update(user_past_day(jobs, window_s=self.user_window_s))
-            timings["user_history"] = t.elapsed
-            t = Timer()
-            with t:
+            with tracing.span("static_specs"):
                 cols.update(static_partition_features(jobs, self.cluster))
-            timings["static_specs"] = t.elapsed
 
-            t = Timer()
-            with t:
+            with tracing.span("assemble"):
                 missing = [name for name in FEATURE_NAMES if name not in cols]
                 if missing:
                     raise RuntimeError(
@@ -220,8 +212,14 @@ class FeaturePipeline:
                 X = np.maximum(X, 0.0)
                 if self.log_transform:
                     X = np.log1p(X)
-            timings["assemble"] = t.elapsed
-        timings["total"] = t_total.elapsed
+        timings = tracing.span_timings(root)
+        reg = metrics.get_registry()
+        reg.counter(
+            "featurize_rows_total", help="jobs featurised (cache misses only)"
+        ).inc(n)
+        reg.histogram(
+            "featurize_seconds", help="wall time of full matrix builds"
+        ).observe(timings["total"])
         log.info(
             "featurised %d jobs into %d columns in %.2fs (n_jobs=%d)",
             n,

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.data.schema import JobSet
 from repro.features.interval_tree import ChunkedIntervalForest
+from repro.obs import tracing
 from repro.utils.parallel import parallel_map
 
 __all__ = ["partition_snapshots", "SNAPSHOT_KEYS"]
@@ -65,41 +66,46 @@ def _aggregate(
 
 def _partition_worker(
     payload: tuple,
-) -> dict[str, np.ndarray]:
-    """All aggregates for one partition's job slice.
+) -> tuple[dict[str, np.ndarray], "tracing.Span"]:
+    """All aggregates for one partition's job slice, plus its span record.
 
     Module-level (picklable) and a pure function of its slice, so results
-    are identical whether it runs in-process or in a worker.
+    are identical whether it runs in-process or in a worker.  The span is
+    built locally (each worker process has a fresh tracer) and shipped
+    back pickled so the parent can graft it into its own trace tree.
     """
     (p, elig, start, end, prio, values, pred, chunk_size, overlap, inner) = payload
     m = len(elig)
 
-    # --- pending intervals [eligible, start) ---------------------------- #
-    pend = ChunkedIntervalForest(elig, start, chunk_size, overlap, n_jobs=inner)
-    iv, indptr = pend.stab_batch(elig)
-    qids = np.repeat(np.arange(m), np.diff(indptr))
-    not_self = iv != qids
-    qq, mi = qids[not_self], iv[not_self]
-    sub = {k: np.zeros(m) for k in SNAPSHOT_KEYS}
-    _aggregate(qq, mi, m, values, "queue", sub)
-    sub["par_queue_pred_timelimit"] += np.bincount(
-        qq, weights=pred[mi], minlength=m
-    )
-    # "Ahead": strictly higher priority among the pending set.
-    ahead = prio[mi] > prio[qq]
-    _aggregate(qq[ahead], mi[ahead], m, values, "ahead", sub)
+    with tracing.Tracer(retain=False).span(
+        f"partition[{p}]", rows=m
+    ) as rec:
+        # --- pending intervals [eligible, start) ------------------------ #
+        pend = ChunkedIntervalForest(elig, start, chunk_size, overlap, n_jobs=inner)
+        iv, indptr = pend.stab_batch(elig)
+        qids = np.repeat(np.arange(m), np.diff(indptr))
+        not_self = iv != qids
+        qq, mi = qids[not_self], iv[not_self]
+        sub = {k: np.zeros(m) for k in SNAPSHOT_KEYS}
+        _aggregate(qq, mi, m, values, "queue", sub)
+        sub["par_queue_pred_timelimit"] += np.bincount(
+            qq, weights=pred[mi], minlength=m
+        )
+        # "Ahead": strictly higher priority among the pending set.
+        ahead = prio[mi] > prio[qq]
+        _aggregate(qq[ahead], mi[ahead], m, values, "ahead", sub)
 
-    # --- running intervals [start, end) --------------------------------- #
-    runf = ChunkedIntervalForest(start, end, chunk_size, overlap, n_jobs=inner)
-    iv, indptr = runf.stab_batch(elig)
-    qids = np.repeat(np.arange(m), np.diff(indptr))
-    not_self = iv != qids
-    qq, mi = qids[not_self], iv[not_self]
-    _aggregate(qq, mi, m, values, "running", sub)
-    sub["par_running_pred_timelimit"] += np.bincount(
-        qq, weights=pred[mi], minlength=m
-    )
-    return sub
+        # --- running intervals [start, end) ----------------------------- #
+        runf = ChunkedIntervalForest(start, end, chunk_size, overlap, n_jobs=inner)
+        iv, indptr = runf.stab_batch(elig)
+        qids = np.repeat(np.arange(m), np.diff(indptr))
+        not_self = iv != qids
+        qq, mi = qids[not_self], iv[not_self]
+        _aggregate(qq, mi, m, values, "running", sub)
+        sub["par_running_pred_timelimit"] += np.bincount(
+            qq, weights=pred[mi], minlength=m
+        )
+    return sub, rec
 
 
 def _partition_label(payload: tuple) -> str:
@@ -177,10 +183,11 @@ def partition_snapshots(
         )
         for p, g in zip(partitions, groups)
     ]
-    subs = parallel_map(
+    results = parallel_map(
         _partition_worker, payloads, n_jobs=outer, label=_partition_label
     )
-    for g, sub in zip(groups, subs):
+    for g, (sub, rec) in zip(groups, results):
+        tracing.attach(rec)  # graft worker span under the caller's span
         for k in SNAPSHOT_KEYS:
             out[k][g] = sub[k]
     return out

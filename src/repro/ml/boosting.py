@@ -13,6 +13,7 @@ import numpy as np
 from repro.ml.base import Regressor
 from repro.ml.binning import BinnedMatrix, resolve_tree_method
 from repro.ml.tree import Tree, _Builder, _HistBuilder
+from repro.obs import metrics
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_2d, check_fitted
 
@@ -113,6 +114,14 @@ class GradientBoostingRegressor(Regressor):
                 tree = _Builder(**kwargs).build(X[rows], g[rows], h[rows])
             self.trees_.append(tree)
             pred += self.learning_rate * tree.predict(X)
+        labels = {"model": "boosting", "method": method}
+        reg = metrics.get_registry()
+        reg.counter(
+            "ml_tree_fits_total", help="ensemble fit calls", labels=labels
+        ).inc()
+        reg.counter(
+            "ml_trees_fitted_total", help="individual trees grown", labels=labels
+        ).inc(len(self.trees_))
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -23,6 +23,7 @@ import numpy as np
 from repro.ml.base import Regressor
 from repro.ml.binning import BinnedMatrix, resolve_tree_method
 from repro.ml.tree import DecisionTreeRegressor, Tree, _Builder, _HistBuilder
+from repro.obs import metrics
 from repro.utils.parallel import parallel_map
 from repro.utils.validation import check_2d, check_fitted
 
@@ -137,6 +138,16 @@ class RandomForestRegressor(Regressor):
             for s in seeds
         ]
         self.trees_ = parallel_map(_run_task, tasks, n_jobs=self.n_jobs)
+        # Counters bump in the parent so parallel fits are still counted
+        # (workers have their own registries that die with the pool).
+        labels = {"model": "forest", "method": method}
+        reg = metrics.get_registry()
+        reg.counter(
+            "ml_tree_fits_total", help="ensemble fit calls", labels=labels
+        ).inc()
+        reg.counter(
+            "ml_trees_fitted_total", help="individual trees grown", labels=labels
+        ).inc(len(self.trees_))
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -22,7 +22,7 @@ from repro.nn.activations import (
     Tanh,
     get_activation,
 )
-from repro.nn.callbacks import EarlyStopping, History, LRSchedule
+from repro.nn.callbacks import EarlyStopping, History, LRSchedule, MetricsCallback
 from repro.nn.layers import Activation, BatchNorm1d, Dense, Dropout, Layer
 from repro.nn.losses import (
     BCEWithLogitsLoss,
@@ -63,6 +63,7 @@ __all__ = [
     "EarlyStopping",
     "History",
     "LRSchedule",
+    "MetricsCallback",
     "save_network",
     "load_network",
 ]

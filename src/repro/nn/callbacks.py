@@ -1,4 +1,4 @@
-"""Training callbacks: early stopping, LR schedules, history."""
+"""Training callbacks: early stopping, LR schedules, history, telemetry."""
 
 from __future__ import annotations
 
@@ -6,10 +6,12 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
+from repro.obs import metrics
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.nn.network import Sequential
 
-__all__ = ["Callback", "EarlyStopping", "History", "LRSchedule"]
+__all__ = ["Callback", "EarlyStopping", "History", "LRSchedule", "MetricsCallback"]
 
 
 class Callback:
@@ -121,4 +123,55 @@ class LRSchedule(Callback):
         if (epoch + 1) % self.step == 0:
             opt = net.optimizer
             opt.lr = max(opt.lr * self.factor, self.min_lr)
+        return False
+
+
+class MetricsCallback(Callback):
+    """Publish per-epoch training signals to the telemetry registry.
+
+    Per epoch: ``nn_epoch_loss`` (and ``nn_epoch_val_loss`` when
+    validation data is present), ``nn_learning_rate``, and
+    ``nn_grad_norm`` — the global L2 norm of the last batch's gradients,
+    the cheapest honest vanishing/exploding-gradient signal.  A
+    ``nn_epochs_total`` counter accumulates across fits.  All series
+    carry a ``model`` label so the classifier and regressor stay
+    distinguishable in one registry.
+    """
+
+    def __init__(self, model: str = "net") -> None:
+        self.model = model
+
+    def _labels(self) -> dict[str, str]:
+        return {"model": self.model}
+
+    def on_epoch_end(self, net, epoch, logs) -> bool:
+        reg = metrics.get_registry()
+        labels = self._labels()
+        reg.counter(
+            "nn_epochs_total", help="training epochs completed", labels=labels
+        ).inc()
+        reg.gauge(
+            "nn_epoch_loss", help="mean training loss of the last epoch",
+            labels=labels,
+        ).set(logs.get("loss", float("nan")))
+        if "val_loss" in logs:
+            reg.gauge(
+                "nn_epoch_val_loss", help="validation loss of the last epoch",
+                labels=labels,
+            ).set(logs["val_loss"])
+        if net.optimizer is not None:
+            reg.gauge(
+                "nn_learning_rate", help="current optimiser learning rate",
+                labels=labels,
+            ).set(net.optimizer.lr)
+        grads = net.gradients()
+        if grads:
+            sq = 0.0
+            for g in grads:
+                sq += float(np.dot(g.ravel(), g.ravel()))
+            reg.gauge(
+                "nn_grad_norm",
+                help="global L2 gradient norm of the last batch",
+                labels=labels,
+            ).set(np.sqrt(sq))
         return False

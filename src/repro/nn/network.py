@@ -17,6 +17,7 @@ from repro.nn.callbacks import Callback, History
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss, get_loss
 from repro.nn.optimizers import Optimizer, get_optimizer
+from repro.obs import tracing
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_2d, check_consistent_length
 
@@ -123,18 +124,23 @@ class Sequential:
             cb.on_train_begin(self)
         stop = False
         for epoch in range(epochs):
-            order = rng.permutation(n) if shuffle else np.arange(n)
-            total = 0.0
-            n_batches = 0
-            for lo in range(0, n, batch_size):
-                sel = order[lo : lo + batch_size]
-                total += self.train_batch(X[sel], y[sel])
-                n_batches += 1
-            logs: dict[str, float] = {"loss": total / max(n_batches, 1)}
-            if validation_data is not None:
-                logs["val_loss"] = self.evaluate(*validation_data, batch_size=batch_size)
-            for cb in cbs:
-                stop = cb.on_epoch_end(self, epoch, logs) or stop
+            # One span per epoch: coarse enough to stay cheap, and the
+            # report renderer merges same-name siblings into "epoch ×N".
+            with tracing.span("epoch"):
+                order = rng.permutation(n) if shuffle else np.arange(n)
+                total = 0.0
+                n_batches = 0
+                for lo in range(0, n, batch_size):
+                    sel = order[lo : lo + batch_size]
+                    total += self.train_batch(X[sel], y[sel])
+                    n_batches += 1
+                logs: dict[str, float] = {"loss": total / max(n_batches, 1)}
+                if validation_data is not None:
+                    logs["val_loss"] = self.evaluate(
+                        *validation_data, batch_size=batch_size
+                    )
+                for cb in cbs:
+                    stop = cb.on_epoch_end(self, epoch, logs) or stop
             if stop:
                 break
         for cb in cbs:

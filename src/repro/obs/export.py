@@ -1,0 +1,206 @@
+"""Snapshot exporters: Prometheus text, JSON, and a terminal report.
+
+One :func:`snapshot` dict carries both halves of the telemetry state —
+the metrics registry and the finished span trees — and each renderer
+formats it for a different consumer:
+
+- :func:`to_prometheus` — the Prometheus text exposition format (label
+  escaping, cumulative ``_bucket{le=…}`` series) for scrapers;
+- :func:`to_json` — a machine-readable snapshot ``trout telemetry`` can
+  reload and pretty-print later;
+- :func:`render_report` — a terminal span tree plus metric tables,
+  extending :func:`repro.eval.report.format_timing_report` to the whole
+  instrumented pipeline.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.eval.report import format_table, format_timing_report
+from repro.obs.metrics import Gauge, Histogram, MetricsRegistry, get_registry
+from repro.obs.tracing import Span, Tracer, get_tracer, span_timings
+
+__all__ = [
+    "snapshot",
+    "to_json",
+    "to_prometheus",
+    "format_span_tree",
+    "render_report",
+    "render_snapshot",
+]
+
+SNAPSHOT_VERSION = 1
+
+
+# ---------------------------------------------------------------------- #
+# snapshot assembly
+# ---------------------------------------------------------------------- #
+def snapshot(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    drain_spans: bool = False,
+) -> dict:
+    """Combined telemetry state as a JSON-able dict."""
+    registry = registry or get_registry()
+    tracer = tracer or get_tracer()
+    roots = tracer.drain() if drain_spans else list(tracer.roots)
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": registry.snapshot(),
+        "spans": [r.to_dict() for r in roots],
+    }
+
+
+def to_json(snap: dict | None = None, indent: int = 2) -> str:
+    """Serialise a snapshot (taking one from the globals if not given)."""
+    return json.dumps(snap if snap is not None else snapshot(), indent=indent)
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text format
+# ---------------------------------------------------------------------- #
+def _escape_label_value(v: str) -> str:
+    return v.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str] | Iterable[tuple[str, str]]) -> str:
+    items = labels.items() if isinstance(labels, dict) else labels
+    inner = ",".join(f'{k}="{_escape_label_value(str(v))}"' for k, v in items)
+    return f"{{{inner}}}" if inner else ""
+
+
+def _fmt(v: float) -> str:
+    f = float(v)
+    return str(int(f)) if f == int(f) else repr(f)
+
+
+def to_prometheus(registry: MetricsRegistry | None = None) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Histograms expand into cumulative ``_bucket{le=…}`` series (ending at
+    ``+Inf``), ``_sum`` and ``_count``, matching what a scraper expects.
+    """
+    registry = registry or get_registry()
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for name, labels, m in registry.items():
+        if name not in seen_header:
+            seen_header.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            kind = (
+                "histogram"
+                if isinstance(m, Histogram)
+                else "gauge" if isinstance(m, Gauge) else "counter"
+            )
+            lines.append(f"# TYPE {name} {kind}")
+        if isinstance(m, Histogram):
+            cum = 0
+            for bound, c in zip(m.bounds, m.counts):
+                cum += c
+                le = _labels_text([*labels, ("le", _fmt(bound))])
+                lines.append(f"{name}_bucket{le} {cum}")
+            cum += m.counts[-1]
+            le = _labels_text([*labels, ("le", "+Inf")])
+            lines.append(f"{name}_bucket{le} {cum}")
+            lines.append(f"{name}_sum{_labels_text(labels)} {_fmt(m.sum)}")
+            lines.append(f"{name}_count{_labels_text(labels)} {m.count}")
+        else:
+            lines.append(f"{name}{_labels_text(labels)} {_fmt(m.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ---------------------------------------------------------------------- #
+# terminal report
+# ---------------------------------------------------------------------- #
+def _merge_siblings(children: list[Span]) -> list[Span]:
+    """Collapse same-name siblings into one row with a repeat count.
+
+    Per-epoch and per-chunk spans are legion; the report shows
+    ``epoch ×30`` with summed time instead of thirty lines.
+    """
+    merged: dict[str, Span] = {}
+    order: list[str] = []
+    for c in children:
+        m = merged.get(c.name)
+        if m is None:
+            m = Span(c.name, meta=dict(c.meta))
+            m.count = 0
+            merged[c.name] = m
+            order.append(c.name)
+        m.elapsed += c.elapsed
+        m.alloc_blocks += c.alloc_blocks
+        m.count += c.count
+        m.children.extend(c.children)
+    return [merged[n] for n in order]
+
+
+def format_span_tree(roots: list[Span], merge: bool = True) -> str:
+    """ASCII tree of spans: wall time, share of root, allocation delta."""
+    lines: list[str] = []
+
+    def walk(rec: Span, prefix: str, tail: bool, total: float, depth: int) -> None:
+        branch = "" if depth == 0 else ("└─ " if tail else "├─ ")
+        share = 100.0 * rec.elapsed / total if total > 0 else 0.0
+        times = f"×{rec.count} " if rec.count > 1 else ""
+        alloc = f" Δblocks={rec.alloc_blocks:+d}" if rec.alloc_blocks else ""
+        lines.append(
+            f"{prefix}{branch}{rec.name} {times}"
+            f"{rec.elapsed * 1e3:.1f} ms ({share:.1f}%){alloc}"
+        )
+        kids = _merge_siblings(rec.children) if merge else rec.children
+        ext = "" if depth == 0 else ("   " if tail else "│  ")
+        for i, c in enumerate(kids):
+            walk(c, prefix + ext, i == len(kids) - 1, total, depth + 1)
+
+    for root in roots:
+        walk(root, "", False, root.elapsed, 0)
+    return "\n".join(lines)
+
+
+def render_report(snap: dict | None = None) -> str:
+    """Human-oriented dump: span trees, stage tables, metric tables."""
+    if snap is None:
+        snap = snapshot()
+    out: list[str] = []
+    roots = [Span.from_dict(d) for d in snap.get("spans", [])]
+    if roots:
+        out.append("── spans " + "─" * 40)
+        out.append(format_span_tree(roots))
+        for root in roots:
+            if root.children:
+                out.append(f"\nstage timings — {root.name}:")
+                out.append(format_timing_report(span_timings(root)))
+    metrics = snap.get("metrics", {})
+    scalars = [
+        [e["name"], _labels_text(e["labels"]) or "-", e["value"]]
+        for kind in ("counters", "gauges")
+        for e in metrics.get(kind, [])
+    ]
+    if scalars:
+        out.append("\n── metrics " + "─" * 38)
+        out.append(format_table(["metric", "labels", "value"], scalars, "{:.4g}"))
+    hists = metrics.get("histograms", [])
+    if hists:
+        rows = []
+        for e in hists:
+            mean = e["sum"] / e["count"] if e["count"] else 0.0
+            rows.append(
+                [e["name"], _labels_text(e["labels"]) or "-", e["count"], mean]
+            )
+        out.append("\n── histograms (count, mean) " + "─" * 21)
+        out.append(format_table(["histogram", "labels", "n", "mean"], rows, "{:.4g}"))
+    return "\n".join(out) if out else "(no telemetry recorded)"
+
+
+def render_snapshot(snap: dict) -> str:
+    """``trout telemetry``'s view of a previously saved JSON snapshot."""
+    version = int(snap.get("version", 0))
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+        )
+    return render_report(snap)

@@ -1,0 +1,196 @@
+"""Nestable spans: where did this run spend its time (and allocations)?
+
+A :func:`span` context manager opens a node in a tree of
+:class:`Span` records::
+
+    with span("featurize") as root:
+        with span("snapshots"):
+            ...
+        with span("assemble"):
+            ...
+    root.elapsed            # wall seconds of the whole block
+    root.children           # the two inner records
+
+Spans always measure — they are coarse-grained (per pipeline stage,
+training epoch, scheduling pass) and the record is what callers like
+:class:`~repro.features.pipeline.FeatureMatrix` derive their stage
+timings from, so ``REPRO_TELEMETRY=0`` does not blank them.  What the
+flag controls is the *retention* of finished root spans for snapshot
+export (and all registry metrics; see :mod:`repro.obs.metrics`).
+
+Each thread has its own span stack, so concurrent trainers nest
+correctly.  Process-pool workers (``parallel_map``) build their own
+records and ship them back pickled; the parent grafts them under its
+current span with :func:`attach` — per-chunk featurisation timings
+survive the process boundary.
+
+Allocation accounting uses ``sys.getallocatedblocks()`` deltas: the
+count of live CPython heap blocks is maintained by the allocator anyway,
+so reading it is ~free, and a large positive delta over a span is a
+reliable "this stage materialised a lot" signal without tracemalloc's
+overhead.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.obs.metrics import telemetry_enabled
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "attach",
+    "current_span",
+    "get_tracer",
+    "reset",
+    "span",
+    "span_timings",
+]
+
+
+@dataclass
+class Span:
+    """One timed region; a node of the trace tree.  Picklable."""
+
+    name: str
+    elapsed: float = 0.0  # wall seconds
+    alloc_blocks: int = 0  # net live-heap-block delta over the span
+    count: int = 1  # >1 after renderer-side merging of same-name siblings
+    meta: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "elapsed": self.elapsed,
+            "alloc_blocks": self.alloc_blocks,
+            "count": self.count,
+            "meta": dict(self.meta),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            name=str(d["name"]),
+            elapsed=float(d.get("elapsed", 0.0)),
+            alloc_blocks=int(d.get("alloc_blocks", 0)),
+            count=int(d.get("count", 1)),
+            meta=dict(d.get("meta", {})),
+            children=[cls.from_dict(c) for c in d.get("children", [])],
+        )
+
+
+class Tracer:
+    """Per-thread span stacks plus a bounded buffer of finished roots.
+
+    ``max_roots`` caps retained history so a long-lived server never
+    grows without bound; exporters drain what is there.
+    """
+
+    def __init__(self, max_roots: int = 128, retain: bool | None = None) -> None:
+        self._local = threading.local()
+        self._roots_lock = threading.Lock()
+        self.roots: deque[Span] = deque(maxlen=max_roots)
+        #: Retain finished roots for export.  Off under
+        #: ``REPRO_TELEMETRY=0`` so the disabled path keeps no history.
+        self.retain = telemetry_enabled() if retain is None else retain
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[Span]:
+        rec = Span(name, meta=dict(meta))
+        stack = self._stack()
+        stack.append(rec)
+        b0 = sys.getallocatedblocks()
+        t0 = time.perf_counter()
+        try:
+            yield rec
+        finally:
+            rec.elapsed = time.perf_counter() - t0
+            rec.alloc_blocks = sys.getallocatedblocks() - b0
+            stack.pop()
+            if stack:
+                stack[-1].children.append(rec)
+            elif self.retain:
+                with self._roots_lock:
+                    self.roots.append(rec)
+
+    def attach(self, rec: Span) -> None:
+        """Graft an externally built record (e.g. from a pool worker)."""
+        cur = self.current()
+        if cur is not None:
+            cur.children.append(rec)
+        elif self.retain:
+            with self._roots_lock:
+                self.roots.append(rec)
+
+    def drain(self) -> list[Span]:
+        """Remove and return all finished root spans."""
+        with self._roots_lock:
+            out = list(self.roots)
+            self.roots.clear()
+        return out
+
+    def reset(self) -> None:
+        self._local = threading.local()
+        with self._roots_lock:
+            self.roots.clear()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer all library spans go through."""
+    return _TRACER
+
+
+def span(name: str, **meta: object):
+    """Open a span on the global tracer (the usual entry point)."""
+    return _TRACER.span(name, **meta)
+
+
+def current_span() -> Span | None:
+    return _TRACER.current()
+
+
+def attach(rec: Span) -> None:
+    _TRACER.attach(rec)
+
+
+def reset() -> None:
+    _TRACER.reset()
+
+
+def span_timings(rec: Span) -> dict[str, float]:
+    """Stage → wall-seconds mapping of a span's direct children.
+
+    The shape :func:`repro.eval.report.format_timing_report` consumes
+    (and the successor of the hand-rolled ``FeatureMatrix.timings``
+    plumbing): one entry per direct child, plus ``"total"`` for the span
+    itself.  Same-name siblings accumulate.
+    """
+    out: dict[str, float] = {}
+    for child in rec.children:
+        out[child.name] = out.get(child.name, 0.0) + child.elapsed
+    out["total"] = rec.elapsed
+    return out

@@ -122,6 +122,10 @@ class BackfillScheduler:
         #: most recent pass (None when everything started).  The simulator
         #: uses this for preemption decisions.
         self.last_blocked: int | None = None
+        #: How many of the most recent pass's started jobs were backfilled
+        #: (started from below a blocked head) rather than started in
+        #: priority order.  Telemetry reads this after each pass.
+        self.last_backfilled: int = 0
 
     def _is_exclusive(self, jobs: np.ndarray, j: int) -> bool:
         if self.exclusive_by_partition is None:
@@ -144,6 +148,7 @@ class BackfillScheduler:
         start times, pushes end events and updates ``running``.
         """
         self.last_blocked = None
+        self.last_backfilled = 0
         if not pending:
             return []
         idx = np.asarray(pending, dtype=np.intp)
@@ -197,11 +202,13 @@ class BackfillScheduler:
                 # Finishes before the reservation needs its resources.
                 ledger.allocate_job(int(j), cpus, mem, gpus, req_nodes, exclusive)
                 started.append(int(j))
+                self.last_backfilled += 1
             elif np.all(req <= extra + 1e-9):
                 # Fits in resources the reservation will not need.
                 ledger.allocate_job(int(j), cpus, mem, gpus, req_nodes, exclusive)
                 extra = extra - req
                 started.append(int(j))
+                self.last_backfilled += 1
 
         for j in started:
             pending.remove(j)

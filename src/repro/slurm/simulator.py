@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.schema import JOB_DTYPE, JobSet, JobState
+from repro.obs import metrics, tracing
 from repro.slurm.fairshare import FairShareTracker
 from repro.slurm.nodes import NodeLedger
 from repro.slurm.priority import MultifactorPriority, PriorityWeights
@@ -153,6 +154,10 @@ class Simulator:
         eventually starts (requests are validated as satisfiable up front);
         the simulation drains all events.
         """
+        with tracing.span("simulate", jobs=len(submissions)):
+            return self._run(submissions)
+
+    def _run(self, submissions: np.ndarray) -> SimulationResult:
         submissions = np.asarray(submissions)
         if submissions.dtype != SUBMISSION_DTYPE:
             raise TypeError(
@@ -196,6 +201,31 @@ class Simulator:
             )
             seq += 1
         heapq.heapify(heap)
+
+        # Metric handles resolved once; per-pass updates are attribute
+        # bumps (or no-ops with telemetry disabled).
+        reg = metrics.get_registry()
+        queue_gauge = reg.gauge("sim_queue_depth", help="pending jobs across all pools")
+        running_gauge = reg.gauge(
+            "sim_running_jobs", help="running jobs across all pools"
+        )
+        passes_ctr = reg.counter(
+            "sim_scheduler_passes_total", help="scheduling passes executed"
+        )
+        started_ctr = reg.counter(
+            "sim_jobs_started_total", help="job starts (requeued jobs count again)"
+        )
+        backfill_ctr = reg.counter(
+            "sim_jobs_backfilled_total", help="jobs started via EASY backfill"
+        )
+        preempt_ctr = reg.counter(
+            "sim_preemptions_total", help="running jobs evicted by preemption"
+        )
+        depth_hist = reg.histogram(
+            "sim_queue_depth_per_pass",
+            help="pool queue depth seen by each scheduling pass",
+            buckets=metrics.log_buckets(1.0, 1e5),
+        )
 
         n_passes = 0
         t = 0.0
@@ -241,6 +271,9 @@ class Simulator:
                     qos=jobs["qos"][ne],
                 )
 
+            queue_gauge.set(float(sum(len(p) for p in pending)))
+            running_gauge.set(float(sum(len(r) for r in running)))
+
             for pool in dirty:
                 while True:
                     # Jobs under a requeue hold sit out this pass.
@@ -248,10 +281,14 @@ class Simulator:
                         ready = [j for j in pending[pool] if hold_until[j] <= t]
                     else:
                         ready = pending[pool]
+                    depth_hist.observe(float(len(ready)))
                     started = self.scheduler.run_pass(
                         t, jobs, ready, running[pool], ledgers[pool]
                     )
                     n_passes += 1
+                    passes_ctr.inc()
+                    started_ctr.inc(len(started))
+                    backfill_ctr.inc(self.scheduler.last_backfilled)
                     if ready is not pending[pool]:
                         for j in started:
                             pending[pool].remove(j)
@@ -273,6 +310,7 @@ class Simulator:
                     if not evicted:
                         break
                     n_preemptions += len(evicted)
+                    preempt_ctr.inc(len(evicted))
                     release = t + self.preemption.requeue_hold_s
                     for j in evicted:
                         hold_until[j] = release

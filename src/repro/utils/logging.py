@@ -24,13 +24,23 @@ def get_logger(name: str) -> logging.Logger:
 def enable_console_logging(level: int = logging.INFO) -> None:
     """Attach a simple stderr handler to the library root (idempotent).
 
-    Called by the CLI; library code never calls this.
+    Called by the CLI; library code never calls this.  Idempotency is
+    keyed on a sentinel attribute rather than ``isinstance`` — a
+    ``FileHandler`` someone else attached *is* a ``StreamHandler``, and
+    must not suppress the console handler.  Repeat calls update the level
+    on both the root and the existing console handler instead of stacking
+    duplicates.
     """
     root = logging.getLogger(_ROOT)
     root.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in root.handlers):
-        handler = logging.StreamHandler()
-        handler.setFormatter(
-            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
-        )
-        root.addHandler(handler)
+    for h in root.handlers:
+        if getattr(h, "_repro_console_handler", False):
+            h.setLevel(level)
+            return
+    handler = logging.StreamHandler()
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+    )
+    handler._repro_console_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)

@@ -3,13 +3,15 @@
 The hpc-parallel guides stress *measure before optimising*; :class:`Timer`
 is the minimal instrument for that: a context manager / stopwatch with
 monotonic clocks and accumulated laps, cheap enough to leave in hot paths
-behind a flag.
+behind a flag.  For structured, nested timing use
+:func:`repro.obs.tracing.span` instead.
 """
 
 from __future__ import annotations
 
 import functools
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, TypeVar
 
@@ -30,18 +32,21 @@ class Timer:
         print(t.elapsed)
 
     Repeated ``with`` blocks accumulate into :attr:`elapsed` and count laps.
+    Re-entrant: nested ``with`` blocks on the same instance each time their
+    own region (start times are a stack, so an inner block cannot clobber
+    an outer block's start).
     """
 
     elapsed: float = 0.0
     laps: int = 0
-    _t0: float = field(default=0.0, repr=False)
+    _starts: list[float] = field(default_factory=list, repr=False)
 
     def __enter__(self) -> "Timer":
-        self._t0 = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc: object) -> None:
-        self.elapsed += time.perf_counter() - self._t0
+        self.elapsed += time.perf_counter() - self._starts.pop()
         self.laps += 1
 
     def reset(self) -> None:
@@ -56,9 +61,19 @@ class Timer:
 
 
 def timed(fn: F) -> F:
-    """Decorator attaching a ``last_elapsed`` attribute with the wall time
-    of the most recent call.  Used by ablation benchmarks that need the
-    timing *and* the return value in one pass."""
+    """Deprecated — use :func:`repro.obs.tracing.span` instead.
+
+    The ``last_elapsed`` attribute this decorator attaches is shared
+    mutable state: concurrent or re-entrant calls race on it, and reading
+    it after a second call silently reports the wrong region.  Spans carry
+    their timing in the record they return, so none of that can happen.
+    """
+    warnings.warn(
+        "repro.utils.timing.timed is deprecated; wrap the call in "
+        "repro.obs.tracing.span(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     @functools.wraps(fn)
     def wrapper(*args: Any, **kwargs: Any) -> Any:

@@ -162,3 +162,94 @@ def test_hypothetical_unknown_partition(workspace, capsys):
     )
     assert rc == 1
     assert "unknown partition" in capsys.readouterr().err
+
+
+def test_train_telemetry_report_prints_span_tree(workspace, tmp_path, capsys):
+    trace, _ = workspace
+    from repro.obs import metrics, tracing
+
+    metrics.get_registry().reset()
+    tracing.reset()
+    rc = main(
+        [
+            "train",
+            "--trace", str(trace),
+            "--out", str(tmp_path / "model"),
+            "--seed", "0",
+            "--telemetry=report",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    # The span tree must cover featurization, training epochs, evaluation.
+    assert "featurize" in out
+    assert "epoch" in out
+    assert "evaluate.holdout" in out
+    assert "nn_epochs_total" in out
+    metrics.get_registry().reset()
+    tracing.reset()
+
+
+def test_telemetry_json_snapshot_round_trip(workspace, tmp_path, capsys):
+    trace, model = workspace
+    from repro.data.swf import read_swf as _read
+    from repro.obs import metrics, tracing
+
+    metrics.get_registry().reset()
+    tracing.reset()
+    job_id = int(_read(trace).column("job_id")[100])
+    snap_path = tmp_path / "snap.json"
+    rc = main(
+        [
+            "predict",
+            "--model", str(model),
+            "--trace", str(trace),
+            "--job-id", str(job_id),
+            "--telemetry=json",
+            "--telemetry-out", str(snap_path),
+        ]
+    )
+    assert rc == 0
+    assert snap_path.exists()
+    capsys.readouterr()
+    # Saved snapshot renders through the telemetry subcommand.
+    rc = main(["telemetry", str(snap_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "featurize" in out
+    metrics.get_registry().reset()
+    tracing.reset()
+
+
+def test_telemetry_prom_format(workspace, tmp_path, capsys):
+    trace, _ = workspace
+    from repro.obs import metrics, tracing
+
+    metrics.get_registry().reset()
+    tracing.reset()
+    rc = main(
+        [
+            "simulate",
+            "--n-jobs", "300",
+            "--seed", "5",
+            "--out", str(tmp_path / "t.swf"),
+            "--telemetry=prom",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "# TYPE sim_scheduler_passes_total counter" in out
+    assert "sim_jobs_started_total" in out
+    metrics.get_registry().reset()
+    tracing.reset()
+
+
+def test_telemetry_subcommand_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("not json")
+    assert main(["telemetry", str(bad)]) == 1
+    assert "cannot read snapshot" in capsys.readouterr().err
+    versioned = tmp_path / "old.json"
+    versioned.write_text('{"version": 99, "metrics": {}, "spans": []}')
+    assert main(["telemetry", str(versioned)]) == 1
+    assert "version" in capsys.readouterr().err

@@ -118,3 +118,93 @@ def test_config_validation():
         OnlineConfig(epochs=0)
     with pytest.raises(ValueError):
         OnlineConfig(lr=0.0)
+    with pytest.raises(ValueError):
+        OnlineConfig(drift_mape_threshold=0.0)
+    with pytest.raises(ValueError):
+        OnlineConfig(drift_window=0)
+    with pytest.raises(ValueError):
+        OnlineConfig(drift_min_samples=0)
+    assert OnlineConfig(drift_mape_threshold=None).drift_mape_threshold is None
+
+
+class _ConstModel:
+    """Stub hierarchy: always predicts long-wait at a fixed duration, so
+    the stream's true minutes alone dictate the rolling MAPE."""
+
+    cutoff_min = 10.0
+
+    class _Clf:
+        def predict(self, X):
+            return np.ones(len(X))
+
+    class _Reg:
+        def predict_minutes(self, X):
+            return np.full(len(X), 100.0)
+
+    classifier = _Clf()
+    regressor = _Reg()
+
+
+def _drift_online(**kwargs):
+    cfg = OnlineConfig(
+        window=10_000,
+        refresh_every=10**9,
+        drift_window=20,
+        drift_min_samples=5,
+        drift_mape_threshold=50.0,
+        **kwargs,
+    )
+    return OnlineTrout(_ConstModel(), cfg)
+
+
+def test_rolling_mape_needs_min_samples():
+    online = _drift_online()
+    rng = np.random.default_rng(0)
+    online.observe(rng.normal(size=(3, 4)), np.full(3, 100.0))
+    assert np.isnan(online.rolling_mape)
+    online.observe(rng.normal(size=(10, 4)), np.full(10, 100.0))
+    assert online.rolling_mape == pytest.approx(0.0)
+
+
+def test_drift_alarm_rising_edge_only():
+    online = _drift_online()
+    rng = np.random.default_rng(1)
+    # Accurate regime: truth == prediction (100 min), MAPE 0.
+    online.observe(rng.normal(size=(10, 4)), np.full(10, 100.0))
+    assert online.n_drift_alarms == 0
+    # Drifted regime: truth 20 min, prediction 100 -> APE 400 %.
+    for _ in range(4):
+        online.observe(rng.normal(size=(10, 4)), np.full(10, 20.0))
+    assert online.n_drift_alarms == 1  # one rising edge, not one per batch
+    assert online.rolling_mape > 50.0
+    # Recovery clears the latch...
+    for _ in range(5):
+        online.observe(rng.normal(size=(10, 4)), np.full(10, 100.0))
+    assert online.n_drift_alarms == 1
+    assert online.rolling_mape < 50.0
+    # ...so a second excursion raises a second alarm.
+    for _ in range(5):
+        online.observe(rng.normal(size=(10, 4)), np.full(10, 20.0))
+    assert online.n_drift_alarms == 2
+
+
+def test_drift_alarm_disabled_with_none_threshold():
+    online = _drift_online()
+    online.config.drift_mape_threshold = None
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        online.observe(rng.normal(size=(10, 4)), np.full(10, 20.0))
+    assert online.n_drift_alarms == 0
+
+
+def test_rolling_window_trims_old_batches():
+    online = _drift_online()
+    rng = np.random.default_rng(3)
+    # Fill the 20-sample window with bad batches, then flood with good
+    # ones: the bad history must age out entirely.
+    for _ in range(2):
+        online.observe(rng.normal(size=(10, 4)), np.full(10, 20.0))
+    for _ in range(4):
+        online.observe(rng.normal(size=(10, 4)), np.full(10, 100.0))
+    assert online.rolling_mape == pytest.approx(0.0)
+    assert online._roll_n <= online.config.drift_window + 10

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.eval.report import density_series, format_table, scatter_series
+from repro.eval.report import (
+    density_series,
+    format_table,
+    format_timing_report,
+    scatter_series,
+)
 
 
 def test_format_table_alignment():
@@ -17,6 +22,34 @@ def test_format_table_alignment():
 def test_format_table_empty_rows():
     text = format_table(["a"], [])
     assert "a" in text
+
+
+def test_format_timing_report_empty_mapping():
+    text = format_timing_report({})
+    assert "stage" in text  # header renders, no rows, no crash
+
+
+def test_format_timing_report_zero_total():
+    text = format_timing_report({"a": 0.0, "total": 0.0})
+    # Zero total must not divide by zero; shares render as 0.
+    assert "0.00" in text
+
+
+def test_format_timing_report_missing_total_sums_stages():
+    text = format_timing_report({"a": 0.25, "b": 0.75})
+    lines = text.splitlines()
+    row_a = next(line for line in lines if line.lstrip().startswith("a"))
+    # Without an explicit "total" key the denominator is the stage sum,
+    # so a's share is 25%.
+    assert "25.00" in row_a
+
+
+def test_format_timing_report_cache_stats_line():
+    class Stats:
+        hits, misses, stores, invalid = 3, 1, 1, 0
+
+    text = format_timing_report({"total": 1.0}, Stats())
+    assert "3 hits" in text and "1 misses" in text
 
 
 def test_density_series_normalised():

@@ -70,3 +70,55 @@ def test_validation():
         LRSchedule(factor=0.0)
     with pytest.raises(ValueError):
         LRSchedule(step=0)
+
+
+def test_metrics_callback_publishes_epoch_signals():
+    from repro.nn.callbacks import MetricsCallback
+    from repro.obs import metrics
+
+    reg = metrics.get_registry()
+    reg.reset()
+    try:
+        net = _net()
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(64, 2))
+        y = (X[:, 0] + X[:, 1]).reshape(-1, 1)
+        net.fit(
+            X,
+            y,
+            epochs=3,
+            batch_size=16,
+            validation_data=(X[:16], y[:16]),
+            callbacks=[MetricsCallback(model="toy")],
+            seed=0,
+        )
+        snap = reg.snapshot()
+        names = {e["name"]: e for e in snap["counters"] + snap["gauges"]}
+        assert names["nn_epochs_total"]["value"] == 3.0
+        assert names["nn_epochs_total"]["labels"] == {"model": "toy"}
+        assert names["nn_epoch_loss"]["value"] > 0.0
+        assert "nn_epoch_val_loss" in names
+        assert names["nn_learning_rate"]["value"] == pytest.approx(0.1)
+        assert names["nn_grad_norm"]["value"] > 0.0
+    finally:
+        reg.reset()
+
+
+def test_metrics_callback_no_val_loss_gauge_without_validation():
+    from repro.nn.callbacks import MetricsCallback
+    from repro.obs import metrics
+
+    reg = metrics.get_registry()
+    reg.reset()
+    try:
+        net = _net()
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(32, 2))
+        y = X.sum(axis=1).reshape(-1, 1)
+        net.fit(X, y, epochs=2, batch_size=16,
+                callbacks=[MetricsCallback()], seed=0)
+        gauges = {e["name"] for e in reg.snapshot()["gauges"]}
+        assert "nn_epoch_val_loss" not in gauges
+        assert "nn_epoch_loss" in gauges
+    finally:
+        reg.reset()

@@ -1,0 +1,137 @@
+"""Exporters: Prometheus text format, JSON snapshots, terminal report."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    SNAPSHOT_VERSION,
+    format_span_tree,
+    render_report,
+    render_snapshot,
+    snapshot,
+    to_json,
+    to_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+def make_registry():
+    r = MetricsRegistry(enabled=True)
+    r.counter("jobs_total", help="jobs processed").inc(5)
+    r.gauge("depth").set(2.5)
+    r.histogram("wait_seconds", buckets=(1.0, 10.0)).observe(0.5)
+    r.histogram("wait_seconds", buckets=(1.0, 10.0)).observe(3.0)
+    r.histogram("wait_seconds", buckets=(1.0, 10.0)).observe(100.0)
+    return r
+
+
+# ---------------------------------------------------------------------- #
+# Prometheus text format
+# ---------------------------------------------------------------------- #
+def test_prometheus_headers_and_values():
+    text = to_prometheus(make_registry())
+    assert "# HELP jobs_total jobs processed" in text
+    assert "# TYPE jobs_total counter" in text
+    assert "# TYPE depth gauge" in text
+    assert "# TYPE wait_seconds histogram" in text
+    assert "jobs_total 5" in text
+    assert "depth 2.5" in text
+
+
+def test_prometheus_buckets_are_cumulative_and_end_at_inf():
+    text = to_prometheus(make_registry())
+    lines = [l for l in text.splitlines() if l.startswith("wait_seconds")]
+    assert 'wait_seconds_bucket{le="1"} 1' in lines
+    assert 'wait_seconds_bucket{le="10"} 2' in lines
+    assert 'wait_seconds_bucket{le="+Inf"} 3' in lines
+    assert "wait_seconds_sum 103.5" in lines
+    assert "wait_seconds_count 3" in lines
+    # Cumulative counts never decrease down the bucket ladder.
+    counts = [
+        int(l.rsplit(" ", 1)[1]) for l in lines if "_bucket" in l
+    ]
+    assert counts == sorted(counts)
+
+
+def test_prometheus_label_escaping():
+    r = MetricsRegistry(enabled=True)
+    r.counter("c_total", labels={"path": 'a\\b"c\nd'}).inc()
+    text = to_prometheus(r)
+    assert '{path="a\\\\b\\"c\\nd"}' in text
+
+
+def test_prometheus_header_emitted_once_per_name():
+    r = MetricsRegistry(enabled=True)
+    r.counter("m_total", help="h", labels={"k": "1"}).inc()
+    r.counter("m_total", help="h", labels={"k": "2"}).inc()
+    text = to_prometheus(r)
+    assert text.count("# TYPE m_total counter") == 1
+    assert text.count("m_total{") == 2
+
+
+def test_prometheus_empty_registry():
+    assert to_prometheus(MetricsRegistry(enabled=True)) == ""
+
+
+# ---------------------------------------------------------------------- #
+# snapshot / JSON
+# ---------------------------------------------------------------------- #
+def test_snapshot_carries_versioned_metrics_and_spans():
+    tr = Tracer(retain=True)
+    with tr.span("root"):
+        pass
+    snap = snapshot(make_registry(), tr)
+    assert snap["version"] == SNAPSHOT_VERSION
+    assert snap["spans"][0]["name"] == "root"
+    # JSON round-trip preserves everything.
+    clone = json.loads(to_json(snap))
+    assert clone == snap
+
+
+def test_snapshot_drain_empties_tracer():
+    tr = Tracer(retain=True)
+    with tr.span("once"):
+        pass
+    snapshot(MetricsRegistry(enabled=True), tr, drain_spans=True)
+    assert len(tr.roots) == 0
+
+
+# ---------------------------------------------------------------------- #
+# terminal rendering
+# ---------------------------------------------------------------------- #
+def test_format_span_tree_merges_and_indents():
+    root = Span("fit", elapsed=10.0)
+    root.children = [
+        Span("epoch", elapsed=2.0),
+        Span("epoch", elapsed=3.0),
+        Span("eval", elapsed=1.0),
+    ]
+    text = format_span_tree([root])
+    assert "fit 10000.0 ms (100.0%)" in text
+    assert "epoch ×2 5000.0 ms (50.0%)" in text
+    assert "└─ eval" in text
+
+
+def test_render_report_includes_all_sections():
+    tr = Tracer(retain=True)
+    with tr.span("pipeline"):
+        with tr.span("stage"):
+            pass
+    snap = snapshot(make_registry(), tr)
+    text = render_report(snap)
+    assert "── spans" in text
+    assert "stage timings — pipeline:" in text
+    assert "jobs_total" in text
+    assert "wait_seconds" in text
+
+
+def test_render_report_empty_snapshot():
+    snap = snapshot(MetricsRegistry(enabled=True), Tracer(retain=True))
+    assert render_report(snap) == "(no telemetry recorded)"
+
+
+def test_render_snapshot_rejects_unknown_version():
+    with pytest.raises(ValueError, match="version"):
+        render_snapshot({"version": 999, "metrics": {}, "spans": []})

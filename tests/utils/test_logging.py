@@ -25,6 +25,46 @@ def test_enable_console_logging_idempotent():
     assert len(root.handlers) <= before + 1
 
 
+def test_console_handler_added_despite_foreign_file_handler(tmp_path):
+    """A FileHandler is a StreamHandler subclass; it must not satisfy the
+    idempotency check and suppress the console handler."""
+    root = logging.getLogger("repro")
+    saved = list(root.handlers)
+    root.handlers = []
+    fh = logging.FileHandler(tmp_path / "app.log")
+    try:
+        root.addHandler(fh)
+        enable_console_logging()
+        console = [
+            h
+            for h in root.handlers
+            if getattr(h, "_repro_console_handler", False)
+        ]
+        assert len(console) == 1
+    finally:
+        fh.close()
+        root.handlers = saved
+
+
+def test_repeat_call_updates_level_without_stacking():
+    root = logging.getLogger("repro")
+    saved = list(root.handlers)
+    root.handlers = []
+    try:
+        enable_console_logging(logging.INFO)
+        enable_console_logging(logging.DEBUG)
+        console = [
+            h
+            for h in root.handlers
+            if getattr(h, "_repro_console_handler", False)
+        ]
+        assert len(console) == 1
+        assert console[0].level == logging.DEBUG
+        assert root.level == logging.DEBUG
+    finally:
+        root.handlers = saved
+
+
 def test_child_logger_propagates(caplog):
     log = get_logger("test_child")
     with caplog.at_level(logging.INFO, logger="repro"):
