@@ -32,6 +32,7 @@ from repro.core import TroutConfig, TroutModel, train_trout
 from repro.core.config import RuntimeModelConfig
 from repro.core.training import build_feature_matrix
 from repro.ml.binning import TREE_METHODS
+from repro.nn.dtypes import NN_DTYPES
 from repro.data.schema import JOB_DTYPE, JobSet
 from repro.data.stats import format_statistics_table, job_statistics
 from repro.data.swf import read_swf, write_swf
@@ -106,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="split search for the runtime-model forest "
         "(default: $REPRO_TREE_METHOD or hist)",
+    )
+    tr.add_argument(
+        "--nn-dtype",
+        choices=NN_DTYPES,
+        default=None,
+        help="neural-network compute dtype "
+        "(default: $REPRO_NN_DTYPE or float32; float64 is the reference path)",
     )
     _add_telemetry_args(tr)
 
@@ -186,6 +194,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         cutoff_min=args.cutoff_min,
         seed=args.seed,
         runtime_model=RuntimeModelConfig(tree_method=args.tree_method),
+        nn_dtype=args.nn_dtype,
     )
     try:
         cache = FeatureCache(args.cache_dir) if args.cache_dir is not None else None

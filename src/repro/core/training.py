@@ -34,6 +34,7 @@ from repro.eval.metrics import (
     within_percent_error,
 )
 from repro.features.pipeline import FeatureMatrix, FeaturePipeline
+from repro.nn.dtypes import resolve_nn_dtype
 from repro.obs import metrics, tracing
 from repro.slurm.resources import Cluster
 from repro.utils.logging import get_logger
@@ -208,13 +209,14 @@ def train_trout(
     past, recent = holdout_recent(len(fm), config.holdout_fraction)
     y_long = (q > config.cutoff_min).astype(np.float64)
 
+    nn_dtype = resolve_nn_dtype(config.nn_dtype).name
     clf = QuickStartClassifier(fm.X.shape[1], config.classifier, seed=config.seed)
-    with tracing.span("train.classifier", rows=len(past)):
+    with tracing.span("train.classifier", rows=len(past), nn_dtype=nn_dtype):
         clf.fit(fm.X[past], y_long[past])
 
     long_tr = past[q[past] > config.cutoff_min]
     reg = QueueTimeRegressor(fm.X.shape[1], config.regressor, seed=config.seed)
-    with tracing.span("train.regressor", rows=len(long_tr)):
+    with tracing.span("train.regressor", rows=len(long_tr), nn_dtype=nn_dtype):
         reg.fit(fm.X[long_tr], q[long_tr])
 
     model = TroutModel(

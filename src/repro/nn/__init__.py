@@ -8,8 +8,14 @@ other optimisers, minibatch training with early stopping, and ``.npz``
 serialisation.  Gradients are exact and property-tested against finite
 differences (:mod:`repro.nn.gradcheck`).
 
-All math is batched float64 NumPy — forward/backward touch no per-sample
-Python loops, per the hpc-parallel vectorisation discipline.
+All math is batched NumPy — forward/backward touch no per-sample Python
+loops, per the hpc-parallel vectorisation discipline.  Compute follows a
+network-wide dtype policy (:mod:`repro.nn.dtypes`): **float32 by
+default** for speed, **float64 as the reference path** (selected via
+``Sequential(dtype=...)``, ``$REPRO_NN_DTYPE`` or ``trout train
+--nn-dtype``).  Layers, losses and optimisers reuse preallocated
+buffers with ``out=`` ufunc calls, so a steady-state training step
+allocates nothing; gradient checking always runs in float64.
 """
 
 from repro.nn.activations import (
@@ -23,6 +29,7 @@ from repro.nn.activations import (
     get_activation,
 )
 from repro.nn.callbacks import EarlyStopping, History, LRSchedule, MetricsCallback
+from repro.nn.dtypes import DEFAULT_NN_DTYPE, NN_DTYPES, Workspace, resolve_nn_dtype
 from repro.nn.layers import Activation, BatchNorm1d, Dense, Dropout, Layer
 from repro.nn.losses import (
     BCEWithLogitsLoss,
@@ -66,4 +73,8 @@ __all__ = [
     "MetricsCallback",
     "save_network",
     "load_network",
+    "DEFAULT_NN_DTYPE",
+    "NN_DTYPES",
+    "Workspace",
+    "resolve_nn_dtype",
 ]

@@ -3,14 +3,23 @@
 The paper selected ELU for the regressor "as it achieved marginally better
 results than other standard activation functions, such as ReLU"; the HPO
 search space also spans the alternatives here.  Each activation implements
-``forward(x)`` and ``backward(grad, x, out)`` where ``x`` is the cached
-input and ``out`` the cached output (some derivatives are cheaper in terms
-of the output).
+``forward(x, out=None)`` and ``backward(grad, x, fwd_out, dst=None,
+ws=None)`` where ``x`` is the cached input and ``fwd_out`` the cached
+output (some derivatives are cheaper in terms of the output).
+
+All implementations are allocation-free when given a destination and a
+:class:`~repro.nn.dtypes.Workspace`: they compute via ``out=`` ufunc
+calls into reusable scratch buffers.  Without them they fall back to
+allocating, so direct use (tests, notebooks) stays ergonomic.  ``dst``
+may alias ``grad`` — every backward reads ``grad`` only in its final
+multiply — but must not alias ``x`` or ``fwd_out``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.nn.dtypes import Workspace
 
 __all__ = [
     "ActivationFn",
@@ -25,15 +34,35 @@ __all__ = [
 ]
 
 
+def _scratch(
+    ws: Workspace | None, tag: str, shape: tuple[int, ...], dtype
+) -> np.ndarray:
+    if ws is None:
+        return np.empty(shape, dtype=dtype)
+    return ws.buf(tag, shape, dtype)
+
+
 class ActivationFn:
     """Base class; subclasses are stateless and hyperparameter-light."""
 
     name = "base"
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(
+        self,
+        x: np.ndarray,
+        out: np.ndarray | None = None,
+        ws: Workspace | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    def backward(
+        self,
+        grad: np.ndarray,
+        x: np.ndarray,
+        out: np.ndarray,
+        dst: np.ndarray | None = None,
+        ws: Workspace | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
     def config(self) -> dict:
@@ -49,10 +78,10 @@ class Identity(ActivationFn):
 
     name = "identity"
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
         return x
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
         return grad
 
 
@@ -61,11 +90,19 @@ class ReLU(ActivationFn):
 
     name = "relu"
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.maximum(x, 0.0)
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(x)
+        np.maximum(x, 0.0, out=out)
+        return out
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        return grad * (x > 0.0)
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
+        if dst is None:
+            dst = np.empty_like(grad)
+        pos = _scratch(ws, "pos", x.shape, np.bool_)
+        np.greater(x, 0.0, out=pos)
+        np.multiply(grad, pos, out=dst)
+        return dst
 
 
 class LeakyReLU(ActivationFn):
@@ -78,11 +115,28 @@ class LeakyReLU(ActivationFn):
             raise ValueError(f"alpha must be non-negative, got {alpha}")
         self.alpha = alpha
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.where(x > 0.0, x, self.alpha * x)
+    def _deriv(self, x, ws) -> np.ndarray:
+        # α + (1−α)·[x>0], built by writing the comparison straight into a
+        # float scratch: np.copyto(..., where=) is an order of magnitude
+        # slower than these fused comparison/axpy passes.
+        deriv = _scratch(ws, "t1", x.shape, x.dtype)
+        np.greater(x, 0.0, out=deriv)
+        deriv *= 1.0 - self.alpha
+        deriv += self.alpha
+        return deriv
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        return grad * np.where(x > 0.0, 1.0, self.alpha)
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(x)
+        # f(x) = x·(α + (1−α)·[x>0]) — exactly x above zero, αx below.
+        np.multiply(x, self._deriv(x, ws), out=out)
+        return out
+
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
+        if dst is None:
+            dst = np.empty_like(grad)
+        np.multiply(grad, self._deriv(x, ws), out=dst)
+        return dst
 
     def config(self) -> dict:
         return {"alpha": self.alpha}
@@ -98,12 +152,33 @@ class ELU(ActivationFn):
             raise ValueError(f"alpha must be positive, got {alpha}")
         self.alpha = alpha
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.where(x > 0.0, x, self.alpha * np.expm1(np.minimum(x, 0.0)))
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
+        # α·expm1(min(x,0)) + max(x,0) equals the branchy definition exactly:
+        # one side of each min/max is 0 where the other branch is active.
+        if out is None:
+            out = np.empty_like(x)
+        np.minimum(x, 0.0, out=out)
+        np.expm1(out, out=out)
+        out *= self.alpha
+        pos_part = _scratch(ws, "t1", x.shape, x.dtype)
+        np.maximum(x, 0.0, out=pos_part)
+        out += pos_part
+        return out
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        # For x<=0, f'(x) = f(x) + α; for x>0, 1.
-        return grad * np.where(x > 0.0, 1.0, out + self.alpha)
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
+        # For x<=0, f'(x) = f(x) + α; for x>0, 1.  Folded into branch-free
+        # form (f(x)+α−1)·[x<=0] + 1 — a where= copy would cost ~20× more
+        # than these elementwise passes.
+        if dst is None:
+            dst = np.empty_like(grad)
+        neg = _scratch(ws, "t1", x.shape, grad.dtype)
+        np.less_equal(x, 0.0, out=neg)
+        deriv = _scratch(ws, "t2", x.shape, grad.dtype)
+        np.add(out, self.alpha - 1.0, out=deriv)
+        deriv *= neg
+        deriv += 1.0
+        np.multiply(grad, deriv, out=dst)
+        return dst
 
     def config(self) -> dict:
         return {"alpha": self.alpha}
@@ -114,11 +189,23 @@ class Sigmoid(ActivationFn):
 
     name = "sigmoid"
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        return 0.5 * (1.0 + np.tanh(0.5 * x))
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(x)
+        np.multiply(x, 0.5, out=out)
+        np.tanh(out, out=out)
+        out += 1.0
+        out *= 0.5
+        return out
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        return grad * out * (1.0 - out)
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
+        if dst is None:
+            dst = np.empty_like(grad)
+        deriv = _scratch(ws, "t1", x.shape, grad.dtype)
+        np.subtract(1.0, out, out=deriv)
+        deriv *= out
+        np.multiply(grad, deriv, out=dst)
+        return dst
 
 
 class Tanh(ActivationFn):
@@ -126,11 +213,20 @@ class Tanh(ActivationFn):
 
     name = "tanh"
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.tanh(x)
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(x)
+        np.tanh(x, out=out)
+        return out
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        return grad * (1.0 - out * out)
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
+        if dst is None:
+            dst = np.empty_like(grad)
+        deriv = _scratch(ws, "t1", x.shape, grad.dtype)
+        np.multiply(out, out, out=deriv)
+        np.subtract(1.0, deriv, out=deriv)
+        np.multiply(grad, deriv, out=dst)
+        return dst
 
 
 class GELU(ActivationFn):
@@ -140,14 +236,47 @@ class GELU(ActivationFn):
 
     _C = np.sqrt(2.0 / np.pi)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        return 0.5 * x * (1.0 + np.tanh(self._C * (x + 0.044715 * x**3)))
+    def forward(self, x, out=None, ws=None) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(x)
+        inner = _scratch(ws, "t1", x.shape, x.dtype)
+        np.multiply(x, x, out=inner)
+        inner *= 0.044715
+        inner += 1.0
+        inner *= x
+        inner *= self._C  # C·(x + 0.044715·x³)
+        np.tanh(inner, out=inner)
+        inner += 1.0
+        np.multiply(x, inner, out=out)
+        out *= 0.5
+        return out
 
-    def backward(self, grad: np.ndarray, x: np.ndarray, out: np.ndarray) -> np.ndarray:
-        inner = self._C * (x + 0.044715 * x**3)
-        t = np.tanh(inner)
-        d_inner = self._C * (1.0 + 3 * 0.044715 * x**2)
-        return grad * (0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * d_inner)
+    def backward(self, grad, x, out, dst=None, ws=None) -> np.ndarray:
+        if dst is None:
+            dst = np.empty_like(grad)
+        t = _scratch(ws, "t1", x.shape, grad.dtype)
+        d_inner = _scratch(ws, "t2", x.shape, grad.dtype)
+        deriv = _scratch(ws, "t3", x.shape, grad.dtype)
+        # t = tanh(C·(x + 0.044715·x³))
+        np.multiply(x, x, out=t)
+        np.multiply(t, 3.0 * 0.044715, out=d_inner)
+        d_inner += 1.0
+        d_inner *= self._C  # C·(1 + 3·0.044715·x²)
+        t *= 0.044715
+        t += 1.0
+        t *= x
+        t *= self._C
+        np.tanh(t, out=t)
+        # deriv = 0.5·(1+t) + 0.5·x·(1−t²)·d_inner
+        np.multiply(t, t, out=deriv)
+        np.subtract(1.0, deriv, out=deriv)
+        deriv *= x
+        deriv *= d_inner
+        deriv += t
+        deriv += 1.0
+        deriv *= 0.5
+        np.multiply(grad, deriv, out=dst)
+        return dst
 
 
 _REGISTRY: dict[str, type[ActivationFn]] = {

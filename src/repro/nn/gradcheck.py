@@ -3,6 +3,12 @@
 Used by the property-based test suite to certify that every layer/loss
 combination backpropagates the exact gradient — the correctness foundation
 for trusting the from-scratch framework at all.
+
+Gradient checking is **pinned to float64**: central differences at
+``eps=1e-6`` drown in float32 rounding (the perturbation itself is near
+the ulp of typical weights), so both helpers convert a float32-policy net
+to the float64 reference path in place before measuring.  The check
+certifies the backprop *algebra*, which is dtype-independent.
 """
 
 from __future__ import annotations
@@ -14,6 +20,16 @@ from repro.nn.network import Sequential
 __all__ = ["numeric_gradients", "max_gradient_error"]
 
 
+def _pin_float64(net: Sequential, X: np.ndarray, y: np.ndarray):
+    if net.dtype != np.float64:
+        net.astype(np.float64)
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim == 1:
+        y = y.reshape(-1, 1)
+    return X, y
+
+
 def numeric_gradients(
     net: Sequential,
     X: np.ndarray,
@@ -22,12 +38,12 @@ def numeric_gradients(
 ) -> list[np.ndarray]:
     """Central-difference gradients of the compiled loss w.r.t. all params.
 
-    O(#params) loss evaluations — strictly a test utility.
+    O(#params) loss evaluations — strictly a test utility.  Casts the net
+    to float64 in place (see module docstring).
     """
     if net.loss is None:
         raise RuntimeError("compile() the network before gradient checking")
-    if y.ndim == 1:
-        y = y.reshape(-1, 1)
+    X, y = _pin_float64(net, X, y)
 
     def loss_value() -> float:
         # training=True so batch-norm uses batch statistics — the same
@@ -59,9 +75,9 @@ def max_gradient_error(
 
     The network must contain no stochastic layers (dropout) for the check
     to be meaningful.  Relative error uses ``|a−n| / max(1, |a|+|n|)``.
+    Casts the net to float64 in place (see module docstring).
     """
-    if y.ndim == 1:
-        y = y.reshape(-1, 1)
+    X, y = _pin_float64(net, X, y)
     out = net.forward(X, training=True)
     net.loss.forward(out, y)
     net.backward(net.loss.backward())

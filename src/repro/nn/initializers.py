@@ -2,8 +2,11 @@
 
 He initialisation for rectifier-family activations (ReLU/ELU — the paper's
 regressor uses ELU throughout), Glorot for sigmoid/tanh outputs.  Each
-initialiser takes ``(fan_in, fan_out, rng)`` and returns a ``(fan_in,
-fan_out)`` float64 matrix.
+initialiser takes ``(fan_in, fan_out, rng, dtype=...)`` and returns a
+``(fan_in, fan_out)`` matrix.  Draws always happen in float64 and are
+cast afterwards, so a float32 net starts from (the rounded image of) the
+same weights as the float64 reference for a given seed, and the RNG
+stream is dtype-independent.
 """
 
 from __future__ import annotations
@@ -20,29 +23,41 @@ __all__ = [
     "get_initializer",
 ]
 
-Initializer = Callable[[int, int, np.random.Generator], np.ndarray]
+Initializer = Callable[..., np.ndarray]
 
 
-def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def he_normal(
+    fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float64
+) -> np.ndarray:
     """N(0, 2/fan_in) — standard for ReLU/ELU stacks."""
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+    w = rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+    return w.astype(dtype, copy=False)
 
 
-def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def he_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float64
+) -> np.ndarray:
     """U(−√(6/fan_in), +√(6/fan_in))."""
     limit = np.sqrt(6.0 / fan_in)
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    w = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return w.astype(dtype, copy=False)
 
 
-def glorot_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def glorot_normal(
+    fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float64
+) -> np.ndarray:
     """N(0, 2/(fan_in+fan_out)) — for saturating activations."""
-    return rng.normal(0.0, np.sqrt(2.0 / (fan_in + fan_out)), size=(fan_in, fan_out))
+    w = rng.normal(0.0, np.sqrt(2.0 / (fan_in + fan_out)), size=(fan_in, fan_out))
+    return w.astype(dtype, copy=False)
 
 
-def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator, dtype=np.float64
+) -> np.ndarray:
     """U(±√(6/(fan_in+fan_out)))."""
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    w = rng.uniform(-limit, limit, size=(fan_in, fan_out))
+    return w.astype(dtype, copy=False)
 
 
 _REGISTRY: dict[str, Initializer] = {

@@ -4,13 +4,21 @@ Every layer implements ``forward(x, training)`` and ``backward(grad)``
 (which must be called after the corresponding forward, as layers cache the
 activations backprop needs), and exposes parameter / gradient arrays that
 optimisers update in place.
+
+Layers carry the network dtype policy (float32 default, float64 reference
+— see :mod:`repro.nn.dtypes`) and own a :class:`~repro.nn.dtypes.Workspace`
+of forward/backward buffers allocated once per (batch shape, dtype) and
+reused across batches, so steady-state training allocates nothing.  A
+layer's forward output is therefore only valid until its *next* forward —
+callers that keep results must copy (``Sequential.predict`` does).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.activations import ActivationFn, get_activation
+from repro.nn.activations import ActivationFn, Identity, get_activation
+from repro.nn.dtypes import Workspace, resolve_nn_dtype
 from repro.nn.initializers import get_initializer
 from repro.utils.rng import default_rng
 
@@ -20,11 +28,32 @@ __all__ = ["Layer", "Dense", "Activation", "Dropout", "BatchNorm1d"]
 class Layer:
     """Base layer: stateless pass-through with no parameters."""
 
+    #: names of ndarray attributes cast when the dtype policy changes
+    _array_attrs: tuple[str, ...] = ()
+    #: names of cached-activation attributes invalidated on a dtype change
+    _cache_attrs: tuple[str, ...] = ()
+
+    def __init__(self, dtype: str | np.dtype | None = None) -> None:
+        self.dtype = resolve_nn_dtype(dtype)
+        self._ws = Workspace()
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def set_dtype(self, dtype: str | np.dtype) -> None:
+        """Switch the layer to ``dtype``, casting params and dropping buffers."""
+        dtype = resolve_nn_dtype(dtype)
+        if dtype == self.dtype:
+            return
+        self.dtype = dtype
+        for name in self._array_attrs:
+            setattr(self, name, getattr(self, name).astype(dtype))
+        for name in self._cache_attrs:
+            setattr(self, name, None)
+        self._ws.clear()
 
     @property
     def params(self) -> list[np.ndarray]:
@@ -56,7 +85,13 @@ class Dense(Layer):
         Weight initialiser name (see :mod:`repro.nn.initializers`).
     seed:
         Seed or generator for the initialiser.
+    dtype:
+        Parameter/compute dtype; ``None`` defers to the policy
+        (:func:`repro.nn.dtypes.resolve_nn_dtype`).
     """
+
+    _array_attrs = ("W", "b", "dW", "db")
+    _cache_attrs = ("_x",)
 
     def __init__(
         self,
@@ -64,15 +99,17 @@ class Dense(Layer):
         out_features: int,
         init: str = "he_normal",
         seed: int | np.random.Generator | None = None,
+        dtype: str | np.dtype | None = None,
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("layer widths must be positive")
+        super().__init__(dtype)
         rng = default_rng(seed)
         self.in_features = in_features
         self.out_features = out_features
         self.init = init
-        self.W = get_initializer(init)(in_features, out_features, rng)
-        self.b = np.zeros(out_features, dtype=np.float64)
+        self.W = get_initializer(init)(in_features, out_features, rng, dtype=self.dtype)
+        self.b = np.zeros(out_features, dtype=self.dtype)
         self.dW = np.zeros_like(self.W)
         self.db = np.zeros_like(self.b)
         self._x: np.ndarray | None = None
@@ -83,16 +120,25 @@ class Dense(Layer):
                 f"Dense({self.in_features}->{self.out_features}) got input "
                 f"shape {x.shape}"
             )
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)
         self._x = x if training else None
-        return x @ self.W + self.b
+        out = self._ws.buf("fwd", (x.shape[0], self.out_features), self.dtype)
+        np.matmul(x, self.W, out=out)
+        out += self.b
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward() before forward(training=True)")
+        if grad.dtype != self.dtype:
+            grad = grad.astype(self.dtype)
         # In-place writes keep optimiser references valid.
         np.matmul(self._x.T, grad, out=self.dW)
         np.sum(grad, axis=0, out=self.db)
-        return grad @ self.W.T
+        gin = self._ws.buf("bwd", self._x.shape, self.dtype)
+        np.matmul(grad, self.W.T, out=gin)
+        return gin
 
     @property
     def params(self) -> list[np.ndarray]:
@@ -114,13 +160,26 @@ class Dense(Layer):
 class Activation(Layer):
     """Wraps an :class:`~repro.nn.activations.ActivationFn` as a layer."""
 
-    def __init__(self, fn: ActivationFn | str, **kwargs) -> None:
+    _cache_attrs = ("_x", "_out")
+
+    def __init__(
+        self,
+        fn: ActivationFn | str,
+        dtype: str | np.dtype | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(dtype)
         self.fn = get_activation(fn, **kwargs) if isinstance(fn, str) else fn
         self._x: np.ndarray | None = None
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        out = self.fn.forward(x)
+        if isinstance(self.fn, Identity):
+            out = x
+        else:
+            out = self.fn.forward(
+                x, out=self._ws.buf("fwd", x.shape, x.dtype), ws=self._ws
+            )
         if training:
             self._x, self._out = x, out
         return out
@@ -128,7 +187,9 @@ class Activation(Layer):
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise RuntimeError("backward() before forward(training=True)")
-        return self.fn.backward(grad, self._x, self._out)
+        # dst=grad: the derivative multiplies into the incoming gradient in
+        # place (safe — every ActivationFn reads grad only in its final op).
+        return self.fn.backward(grad, self._x, self._out, dst=grad, ws=self._ws)
 
     def config(self) -> dict:
         return {"kind": "activation", "name": self.fn.name, **self.fn.config()}
@@ -137,9 +198,17 @@ class Activation(Layer):
 class Dropout(Layer):
     """Inverted dropout: active only in training, identity at inference."""
 
-    def __init__(self, p: float, seed: int | np.random.Generator | None = None) -> None:
+    _cache_attrs = ("_mask",)
+
+    def __init__(
+        self,
+        p: float,
+        seed: int | np.random.Generator | None = None,
+        dtype: str | np.dtype | None = None,
+    ) -> None:
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout p must be in [0, 1), got {p}")
+        super().__init__(dtype)
         self.p = p
         self._rng = default_rng(seed)
         self._mask: np.ndarray | None = None
@@ -149,13 +218,33 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.p
-        self._mask = (self._rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        # Threshold raw generator words at 16-bit resolution: producing
+        # bits is ~4x cheaper than converting them to unit-interval
+        # floats, and quantising ``keep`` to 1/65536 (≤8e-6 absolute)
+        # is far below anything a dropout rate resolves.  The draw is
+        # precision-independent, so float32 and float64 policies consume
+        # the identical mask sequence.
+        nel = x.size
+        words = self._rng.bit_generator.random_raw((nel + 3) // 4)
+        u16 = words.view(np.uint16)[:nel].reshape(x.shape)
+        kept = self._ws.buf("kept", x.shape, np.bool_)
+        np.less(u16, int(round(keep * 65536.0)), out=kept)
+        mask = self._ws.buf("mask", x.shape, x.dtype)
+        # A dtype-matched scalar keeps the bool->float cast on the fast
+        # ufunc loop (a python float promotes the whole op to float64).
+        np.multiply(kept, mask.dtype.type(1.0 / keep), out=mask)
+        self._mask = mask
+        # The output cannot alias x: the upstream layer's cached forward
+        # buffer must stay intact for its own backward pass.
+        out = self._ws.buf("fwd", x.shape, x.dtype)
+        np.multiply(x, mask, out=out)
+        return out
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad
-        return grad * self._mask
+        grad *= self._mask
+        return grad
 
     def config(self) -> dict:
         return {"kind": "dropout", "p": self.p}
@@ -166,27 +255,41 @@ class BatchNorm1d(Layer):
 
     The paper tested this on the regressor and rejected it (wide-range
     targets plus huge hidden layers made it impractical); it is kept for
-    the batch-norm ablation.  Training uses batch statistics and maintains
-    exponential running estimates for inference.
+    the batch-norm ablation, so unlike the hot layers above it still
+    allocates its intermediates per batch.
     """
 
-    def __init__(self, n_features: int, momentum: float = 0.1, eps: float = 1e-5):
+    _array_attrs = (
+        "gamma", "beta", "dgamma", "dbeta", "running_mean", "running_var",
+    )
+    _cache_attrs = ("_cache",)
+
+    def __init__(
+        self,
+        n_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        dtype: str | np.dtype | None = None,
+    ):
         if n_features <= 0:
             raise ValueError("n_features must be positive")
         if not 0.0 < momentum <= 1.0:
             raise ValueError("momentum must be in (0, 1]")
+        super().__init__(dtype)
         self.n_features = n_features
         self.momentum = momentum
         self.eps = eps
-        self.gamma = np.ones(n_features, dtype=np.float64)
-        self.beta = np.zeros(n_features, dtype=np.float64)
+        self.gamma = np.ones(n_features, dtype=self.dtype)
+        self.beta = np.zeros(n_features, dtype=self.dtype)
         self.dgamma = np.zeros_like(self.gamma)
         self.dbeta = np.zeros_like(self.beta)
-        self.running_mean = np.zeros(n_features, dtype=np.float64)
-        self.running_var = np.ones(n_features, dtype=np.float64)
+        self.running_mean = np.zeros(n_features, dtype=self.dtype)
+        self.running_var = np.ones(n_features, dtype=self.dtype)
         self._cache: tuple | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.dtype != self.dtype:
+            x = x.astype(self.dtype)
         if training:
             mean = x.mean(axis=0)
             var = x.var(axis=0)

@@ -25,8 +25,12 @@ def ensure_float64(a: np.ndarray, name: str = "array") -> np.ndarray:
     return out
 
 
-def check_2d(a: np.ndarray, name: str = "X") -> np.ndarray:
-    """Validate a 2-D sample matrix; 1-D input is promoted to a column."""
+def check_2d(a: np.ndarray, name: str = "X", dtype: np.dtype | type = np.float64) -> np.ndarray:
+    """Validate a 2-D sample matrix; 1-D input is promoted to a column.
+
+    ``dtype`` is the target dtype (float64 historically; the NN stack
+    passes its policy dtype).  No copy when already contiguous and typed.
+    """
     a = np.asarray(a)
     if a.ndim == 1:
         a = a.reshape(-1, 1)
@@ -34,7 +38,7 @@ def check_2d(a: np.ndarray, name: str = "X") -> np.ndarray:
         raise ValueError(f"{name} must be 2-D, got shape {a.shape}")
     if a.shape[0] == 0:
         raise ValueError(f"{name} has zero samples")
-    return ensure_float64(a, name)
+    return np.ascontiguousarray(a, dtype=dtype)
 
 
 def check_1d(a: np.ndarray, name: str = "y") -> np.ndarray:

@@ -29,7 +29,10 @@ def test_evaluate_batch_weighting_exact():
     y = rng.normal(size=103)
     full = net.evaluate(X, y, batch_size=1000)
     chunked = net.evaluate(X, y, batch_size=10)
-    np.testing.assert_allclose(full, chunked, rtol=1e-12)
+    # Batch-shape-dependent float32 BLAS accumulation order loosens the
+    # bound under the default policy; float64 stays near-exact.
+    rtol = 1e-12 if net.dtype == np.float64 else 1e-6
+    np.testing.assert_allclose(full, chunked, rtol=rtol)
 
 
 def test_leaky_relu_alpha_survives_serialisation(tmp_path):

@@ -55,11 +55,48 @@ def test_adamw_decays_without_gradient():
     assert w[0] < 1.0
 
 
-def test_slots_keyed_by_identity():
+def test_slots_keyed_by_position():
     opt = Adam(lr=0.1)
     w1, w2 = np.zeros(2), np.zeros(3)
     opt.step([w1, w2], [np.ones(2), np.ones(3)])
-    assert len(opt._slots) == 2
+    assert sorted(opt._slots) == [0, 1]
+    # A *new* array of the same shape at the same position keeps the slot
+    # (position identifies the logical parameter, not the allocation) …
+    m_before = opt._slots[0]["m"].copy()
+    opt.step([np.zeros(2), np.zeros(3)], [np.ones(2), np.ones(3)])
+    assert not np.array_equal(opt._slots[0]["m"], m_before)  # moments advanced
+
+
+def test_slot_reinitialised_on_shape_change():
+    opt = Adam(lr=0.1)
+    opt.step([np.zeros(2)], [np.ones(2)])
+    # A differently-shaped parameter at position 0 gets a fresh slot
+    # instead of crashing into the stale (2,)-shaped moments.
+    w = np.zeros(5)
+    opt.step([w], [np.ones(5)])
+    assert opt._slots[0]["m"].shape == (5,)
+
+
+def test_reset_clears_slot_state():
+    opt = Adam(lr=0.1)
+    w = np.zeros(2)
+    opt.step([w], [np.ones(2)])
+    assert opt._slots
+    opt.reset()
+    assert not opt._slots
+    # After reset the next step bias-corrects like a first step again.
+    w2 = np.zeros(1)
+    opt.step([w2], [np.array([10.0])])
+    np.testing.assert_allclose(abs(w2[0]), opt.lr, rtol=1e-3)
+
+
+def test_clip_norm_scales_grads_in_place():
+    opt = SGD(lr=1.0, clip_norm=1.0)
+    g1, g2 = np.full(2, 100.0), np.full(2, 100.0)
+    opt.step([np.zeros(2), np.zeros(2)], [g1, g2])
+    # No scaled copies: the caller's gradient arrays were clipped in place.
+    total = np.sqrt((g1**2).sum() + (g2**2).sum())
+    np.testing.assert_allclose(total, 1.0)
 
 
 def test_validation():

@@ -73,6 +73,50 @@ def test_loaded_net_can_continue_training(tmp_path):
     loaded.fit(X, y, epochs=1, seed=0)  # must not raise
 
 
+def test_float32_roundtrip_preserves_dtype_and_bits(tmp_path):
+    net, X = _trained_net()
+    assert net.dtype == np.float32 or net.dtype == np.float64  # policy-driven
+    net32 = net.astype("float32")
+    path = tmp_path / "net32.npz"
+    save_network(net32, path)
+    loaded = load_network(path)
+    assert loaded.dtype == np.float32
+    assert all(p.dtype == np.float32 for p in loaded.parameters())
+    # Weights survive bit-for-bit, so predictions are identical.
+    np.testing.assert_array_equal(
+        loaded.predict(X), net32.predict(X)
+    )
+
+
+def test_float64_checkpoint_downcast_warns(tmp_path):
+    net, X = _trained_net()
+    net = net.astype("float64")
+    path = tmp_path / "net64.npz"
+    save_network(net, path)
+    with pytest.warns(UserWarning, match="down-casts"):
+        loaded = load_network(path, dtype="float32")
+    assert loaded.dtype == np.float32
+    ref = net.predict(X)
+    got = loaded.predict(X)
+    np.testing.assert_allclose(got, ref, rtol=1e-3, atol=1e-4)
+
+
+def test_float32_checkpoint_upcast_silent(tmp_path):
+    net, _ = _trained_net()
+    net = net.astype("float32")
+    path = tmp_path / "net32.npz"
+    save_network(net, path)
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # widening must not warn
+        loaded = load_network(path, dtype="float64")
+    assert loaded.dtype == np.float64
+    np.testing.assert_array_equal(
+        np.asarray(loaded.layers[0].W, dtype=np.float32), net.layers[0].W
+    )
+
+
 def test_unsaveable_layer_rejected(tmp_path):
     from repro.nn.layers import Layer
 
