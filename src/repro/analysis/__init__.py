@@ -1,0 +1,42 @@
+"""``troutlint`` — AST-based invariant checker for the whole stack.
+
+A dependency-free static pass enforcing the conventions the test suite's
+determinism depends on: the seeded-RNG discipline (RNG001/RNG002), the
+``repro.nn`` dtype contract (DT001), the import-layering DAG (IMP001),
+telemetry naming (OBS001), and no silently-swallowed failures (EXC001).
+
+Run it as ``trout lint`` or ``python -m repro.analysis``; suppress one
+line with ``# repro: ignore[RULE001]``; grandfather what you cannot fix
+via the checked-in baseline (``trout lint --baseline``).  Rule catalogue
+and semantics: DESIGN.md §9.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline, BaselineEntry, apply
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.engine import (
+    LintResult,
+    Rule,
+    Violation,
+    lint_file,
+    lint_paths,
+    registered_rules,
+)
+from repro.analysis.report import render_json, render_report
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "apply",
+    "lint_file",
+    "lint_paths",
+    "load_config",
+    "registered_rules",
+    "render_json",
+    "render_report",
+]

@@ -1,0 +1,147 @@
+"""Grandfathered-violation baseline: load, match, stale-check, rewrite.
+
+A baseline entry pins one known violation by ``(rule, path, snippet)`` —
+the stripped source line, not a line number, so edits elsewhere in the
+file don't invalidate it.  Every entry carries a human ``reason``; the
+file is checked in, so a justification survives reviews.
+
+Semantics enforced by :func:`apply`:
+
+- a current violation matching an entry is *suppressed* (grandfathered);
+- an entry matching nothing is *stale* and fails the run — baselines may
+  only shrink, silently dead entries are forbidden (the CI stale check);
+- duplicates of one entry match all their occurrences (``count`` many at
+  most; extra occurrences above ``count`` surface as new violations).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import Violation
+
+__all__ = ["BaselineEntry", "Baseline", "apply"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered violation."""
+
+    rule: str
+    path: str
+    snippet: str
+    reason: str = ""
+    count: int = 1
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+
+@dataclass
+class Baseline:
+    """The checked-in set of grandfathered violations."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"baseline {path} has no 'entries' list")
+        version = data.get("version", BASELINE_VERSION)
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} is version {version}, "
+                f"this checker expects {BASELINE_VERSION}"
+            )
+        entries = []
+        for i, raw in enumerate(data["entries"]):
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        snippet=str(raw["snippet"]),
+                        reason=str(raw.get("reason", "")),
+                        count=int(raw.get("count", 1)),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"baseline {path} entry {i} is malformed: {exc!r}"
+                ) from exc
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        data = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "snippet": e.snippet,
+                    "reason": e.reason,
+                    **({"count": e.count} if e.count != 1 else {}),
+                }
+                for e in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.snippet)
+                )
+            ],
+        }
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_violations(
+        cls, violations: list[Violation], old: "Baseline | None" = None
+    ) -> "Baseline":
+        """Baseline covering ``violations``, keeping reasons from ``old``."""
+        reasons = {e.key(): e.reason for e in (old.entries if old else [])}
+        counts: dict[tuple[str, str, str], int] = {}
+        for v in violations:
+            counts[v.key()] = counts.get(v.key(), 0) + 1
+        return cls(
+            [
+                BaselineEntry(
+                    rule=rule,
+                    path=path,
+                    snippet=snippet,
+                    reason=reasons.get((rule, path, snippet), "TODO: justify"),
+                    count=n,
+                )
+                for (rule, path, snippet), n in counts.items()
+            ]
+        )
+
+
+def apply(
+    violations: list[Violation], baseline: Baseline
+) -> tuple[list[Violation], list[Violation], list[BaselineEntry]]:
+    """Split violations against a baseline.
+
+    Returns ``(new, grandfathered, stale_entries)``: violations not
+    covered by the baseline, violations it suppresses, and entries that
+    matched fewer occurrences than their ``count`` (fully unmatched or
+    over-counted — either way the baseline no longer reflects reality).
+    """
+    budget = {e.key(): e.count for e in baseline.entries}
+    new: list[Violation] = []
+    grandfathered: list[Violation] = []
+    for v in violations:
+        k = v.key()
+        if budget.get(k, 0) > 0:
+            budget[k] -= 1
+            grandfathered.append(v)
+        else:
+            new.append(v)
+    stale = [e for e in baseline.entries if budget.get(e.key(), 0) > 0]
+    return new, grandfathered, stale

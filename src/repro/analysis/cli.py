@@ -1,0 +1,94 @@
+"""``trout lint`` / ``python -m repro.analysis`` — run the checker.
+
+Exit codes: 0 clean, 1 violations or stale baseline entries or parse
+errors, 2 configuration errors.  ``--baseline`` rewrites the baseline
+file from the current violations (keeping the reasons of entries that
+survive) instead of failing on them — the sanctioned way to grandfather
+a violation you cannot fix yet.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.config import load_config
+from repro.analysis.engine import lint_paths
+from repro.analysis.report import render_json, render_report
+
+__all__ = ["add_lint_arguments", "run_lint", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared by ``trout lint`` and ``-m``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: the configured paths, "
+        "normally src/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("report", "json"),
+        default="report",
+        help="output format (default: report)",
+    )
+    parser.add_argument(
+        "--baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current violations "
+        "instead of failing on them",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root holding pyproject.toml and the baseline "
+        "(default: cwd)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation."""
+    try:
+        config = load_config(args.root)
+    except ValueError as exc:
+        print(f"troutlint: {exc}", file=sys.stderr)
+        return 2
+    result = lint_paths(args.paths or None, config)
+    baseline_path = config.root / config.baseline_path
+    try:
+        base = baseline_mod.Baseline.load(baseline_path)
+    except ValueError as exc:
+        print(f"troutlint: {exc}", file=sys.stderr)
+        return 2
+    if args.baseline:
+        rewritten = baseline_mod.Baseline.from_violations(
+            result.violations, old=base
+        )
+        rewritten.save(baseline_path)
+        print(
+            f"baseline rewritten: {len(rewritten.entries)} entr"
+            f"{'y' if len(rewritten.entries) == 1 else 'ies'} "
+            f"covering {len(result.violations)} violation(s) "
+            f"→ {baseline_path}"
+        )
+        return 0
+    new, grandfathered, stale = baseline_mod.apply(result.violations, base)
+    render = render_json if args.format == "json" else render_report
+    print(render(result, new, grandfathered, stale))
+    failed = bool(new or stale or result.parse_errors)
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checker for this repo "
+        "(rules: RNG001 RNG002 DT001 IMP001 OBS001 EXC001)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

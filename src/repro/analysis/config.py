@@ -1,0 +1,179 @@
+"""Lint configuration: baked-in defaults plus ``pyproject.toml`` overrides.
+
+The defaults below *are* the repo's invariants — the layering DAG, the
+blessed RNG module, the telemetry unit suffixes.  ``[tool.troutlint]`` in
+``pyproject.toml`` can override any of them, so the checker stays useful
+if the package layout grows (add the new package to ``layers`` and its
+allowed imports) without touching this module.
+
+The DAG is expressed as an *allowed-imports* mapping: package → the
+repro packages its module-level imports may target.  Function-scoped
+imports are deliberately exempt from IMP001 — they are the established
+escape hatch for runtime-only dependencies (``metrics.set_enabled``'s
+late tracing import, the CLI's lazy subcommand imports) and cannot
+create import-time cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["LintConfig", "load_config", "DEFAULT_LAYERS"]
+
+#: package → repro packages its module-level imports may target.  The
+#: package name "" is the distribution root (``repro/__init__.py`` and any
+#: future root-level module) which, like ``cli``, sits on top.
+DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
+    "utils": (),
+    "obs": ("utils",),
+    "data": ("utils", "obs"),
+    "nn": ("utils", "obs"),
+    "sampling": ("utils", "obs"),
+    "explain": ("utils", "obs"),
+    "ml": ("utils", "obs", "data"),
+    "slurm": ("utils", "obs", "data"),
+    "hpo": ("utils", "obs", "ml"),
+    "features": ("utils", "obs", "data", "slurm"),
+    "workload": ("utils", "obs", "data", "slurm"),
+    "eval": ("utils", "obs", "data", "features", "ml", "nn"),
+    "core": (
+        "utils", "obs", "data", "slurm", "features", "ml", "nn",
+        "sampling", "hpo", "eval",
+    ),
+    "analysis": ("utils",),
+    "cli": (
+        "utils", "obs", "data", "slurm", "features", "ml", "nn",
+        "sampling", "explain", "hpo", "eval", "core", "workload",
+        "analysis",
+    ),
+    "": (
+        "utils", "obs", "data", "slurm", "features", "ml", "nn",
+        "sampling", "explain", "hpo", "eval", "core", "workload",
+        "analysis", "cli",
+    ),
+}
+
+#: Counters must end ``_total`` (Prometheus convention); histograms must
+#: carry one of these unit suffixes so dashboards can tell seconds from
+#: bytes without reading help strings.
+DEFAULT_HISTOGRAM_SUFFIXES: tuple[str, ...] = (
+    "_seconds", "_blocks", "_bytes", "_total",
+)
+
+
+@dataclass
+class LintConfig:
+    """Everything the rules need to know about this repo's conventions."""
+
+    #: top-level package whose sources are linted
+    package: str = "repro"
+    #: directories (relative to project root) searched for the package
+    src_roots: tuple[str, ...] = ("src",)
+    #: default lint targets when the CLI gets no paths
+    paths: tuple[str, ...] = ("src",)
+    #: baseline file, relative to project root
+    baseline_path: str = "troutlint-baseline.json"
+    #: module allowed to own raw numpy RNG state (RNG001 exemption)
+    rng_module: str = "repro.utils.rng"
+    #: packages allowed wall-clock reads (RNG002 exemption)
+    wallclock_packages: tuple[str, ...] = ("repro.obs",)
+    #: packages whose array constructors must pin dtype= (DT001 scope)
+    dtype_strict_packages: tuple[str, ...] = ("repro.nn",)
+    #: import-layering DAG (IMP001)
+    layers: dict[str, tuple[str, ...]] = field(
+        default_factory=lambda: dict(DEFAULT_LAYERS)
+    )
+    #: unit suffixes accepted on histogram metric names (OBS001)
+    histogram_suffixes: tuple[str, ...] = DEFAULT_HISTOGRAM_SUFFIXES
+    #: rule ids disabled wholesale
+    disable: tuple[str, ...] = ()
+    #: project root everything above is relative to
+    root: Path = field(default_factory=Path.cwd)
+
+    def module_name(self, path: Path) -> str | None:
+        """Dotted module name for a source path, or ``None`` if outside
+        every src root (fixture files, scripts)."""
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            return None
+        for root in self.src_roots:
+            parts = rel.parts
+            root_parts = Path(root).parts
+            if parts[: len(root_parts)] == root_parts:
+                mod_parts = parts[len(root_parts):]
+                if not mod_parts or not mod_parts[-1].endswith(".py"):
+                    return None
+                name = ".".join(mod_parts)[: -len(".py")]
+                if name.endswith(".__init__"):
+                    name = name[: -len(".__init__")]
+                elif name == "__init__":
+                    return None
+                return name
+        return None
+
+    def package_of(self, module: str) -> str | None:
+        """The layering unit of a module: ``repro.ml.tree`` → ``ml``,
+        ``repro`` → ``""``, non-repro modules → ``None``."""
+        parts = module.split(".")
+        if parts[0] != self.package:
+            return None
+        return parts[1] if len(parts) > 1 else ""
+
+
+def _as_str_tuple(value: object, where: str) -> tuple[str, ...]:
+    if not isinstance(value, list) or not all(
+        isinstance(v, str) for v in value
+    ):
+        raise ValueError(f"[tool.troutlint] {where} must be a list of strings")
+    return tuple(value)
+
+
+def load_config(root: Path | None = None) -> LintConfig:
+    """Defaults merged with ``[tool.troutlint]`` from ``pyproject.toml``.
+
+    Missing file or missing table both mean pure defaults; a malformed
+    table raises ``ValueError`` so CI fails loudly instead of silently
+    linting with the wrong invariants.
+    """
+    cfg = LintConfig(root=root or Path.cwd())
+    pyproject = cfg.root / "pyproject.toml"
+    if not pyproject.is_file():
+        return cfg
+    try:
+        import tomllib
+    except ImportError:  # pragma: no cover - py<3.11 fallback: defaults
+        return cfg
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("troutlint")
+    if table is None:
+        return cfg
+    if not isinstance(table, dict):
+        raise ValueError("[tool.troutlint] must be a table")
+    simple = {
+        "package": str,
+        "baseline_path": str,
+        "rng_module": str,
+    }
+    for key, typ in simple.items():
+        if key in table:
+            if not isinstance(table[key], typ):
+                raise ValueError(f"[tool.troutlint] {key} must be a string")
+            setattr(cfg, key, table[key])
+    for key in (
+        "src_roots", "paths", "wallclock_packages",
+        "dtype_strict_packages", "histogram_suffixes", "disable",
+    ):
+        if key in table:
+            setattr(cfg, key, _as_str_tuple(table[key], key))
+    if "layers" in table:
+        layers = table["layers"]
+        if not isinstance(layers, dict):
+            raise ValueError("[tool.troutlint] layers must be a table")
+        cfg.layers = {
+            str(pkg): _as_str_tuple(allowed, f"layers.{pkg}")
+            for pkg, allowed in layers.items()
+        }
+    return cfg

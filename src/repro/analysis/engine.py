@@ -1,0 +1,330 @@
+"""Single-parse lint engine: walk files, parse once, dispatch to rules.
+
+Each file is read and ``ast.parse``-d exactly once; every registered rule
+sees the same tree through one shared walk.  Rules declare the node types
+they care about (``interests``) and the engine routes nodes to them, so
+adding a rule never adds a parse or a traversal.
+
+Suppression is per-line: a ``# repro: ignore[RULE001]`` (or
+``# repro: ignore[RULE001,RULE002]``, or a blanket ``# repro: ignore``)
+comment on the *reported* line silences matching violations on that line.
+Pragmas are extracted with a line scan, not the tokenizer, so a syntax
+error in one file still reports cleanly for the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+
+__all__ = [
+    "FileContext",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "iter_source_files",
+    "lint_file",
+    "lint_paths",
+    "registered_rules",
+    "register",
+]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    rule: str
+    path: str  # project-root-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    #: the stripped source line — the baseline's drift-tolerant fingerprint
+    snippet: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching: line numbers excluded so
+        unrelated edits above a grandfathered violation don't stale it."""
+        return (self.rule, self.path, self.snippet)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """Everything rules may ask about the file under the current walk."""
+
+    def __init__(
+        self,
+        path: Path,
+        rel_path: str,
+        source: str,
+        tree: ast.Module,
+        config: LintConfig,
+    ) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.module = config.module_name(path)
+        #: local alias → dotted module it names (``np`` → ``numpy``,
+        #: ``random`` → ``numpy.random`` after ``from numpy import random``)
+        self.module_aliases: dict[str, str] = {}
+        #: local name → dotted origin for from-imports of attributes
+        #: (``default_rng`` → ``numpy.random.default_rng``)
+        self.name_aliases: dict[str, str] = {}
+        self._top_level_nodes: set[int] | None = None
+
+    # ---------------------------------------------------------------- #
+    def in_package(self, prefix: str) -> bool:
+        """Is this module inside ``prefix`` (a dotted package path)?"""
+        return self.module is not None and (
+            self.module == prefix or self.module.startswith(prefix + ".")
+        )
+
+    def snippet_at(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def record_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        """Feed the alias maps (the engine calls this for every import)."""
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        else:
+            if node.level or node.module is None:
+                return  # relative imports never rebind numpy/time/datetime
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                local = alias.asname or alias.name
+                # ``from numpy import random`` binds a module; record it in
+                # both maps — dotted_name() resolves through either.
+                self.module_aliases[local] = full
+                self.name_aliases[local] = full
+
+    def dotted_name(self, node: ast.expr) -> str | None:
+        """Resolve an attribute chain to its imported dotted origin.
+
+        ``np.random.default_rng`` → ``numpy.random.default_rng`` given
+        ``import numpy as np``; plain names resolve through from-import
+        aliases; anything not rooted in an import returns ``None``.
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        origin = self.module_aliases.get(root) or self.name_aliases.get(root)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def is_top_level(self, node: ast.stmt) -> bool:
+        """True for statements in the module body, including bodies of
+        top-level ``if`` blocks (``if TYPE_CHECKING:`` guards are handled
+        separately by IMP001)."""
+        if self._top_level_nodes is None:
+            tops: set[int] = set()
+            stack: list[ast.stmt] = list(self.tree.body)
+            while stack:
+                stmt = stack.pop()
+                tops.add(id(stmt))
+                if isinstance(stmt, (ast.If, ast.Try)):
+                    for part in ast.iter_child_nodes(stmt):
+                        if isinstance(part, ast.stmt):
+                            stack.append(part)
+                    if isinstance(stmt, ast.Try):
+                        for h in stmt.handlers:
+                            stack.extend(h.body)
+            self._top_level_nodes = tops
+        return id(node) in self._top_level_nodes
+
+
+class Rule:
+    """A named invariant check.
+
+    Subclasses set ``id``/``summary``, list the ``ast`` node classes they
+    want in ``interests``, and implement ``visit``; ``start``/``finish``
+    bracket each file for rules that need per-file state.
+    """
+
+    id: str = ""
+    summary: str = ""
+    interests: tuple[type, ...] = ()
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Rules can scope themselves to packages (DT001 → repro.nn)."""
+        return True
+
+    def start(self, ctx: FileContext) -> None:  # pragma: no cover - default
+        pass
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> Iterable[Violation]:
+        return ()
+
+    def finish(self, ctx: FileContext) -> Iterable[Violation]:
+        return ()
+
+    # helper for subclasses
+    def violation(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            rule=self.id,
+            path=ctx.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.snippet_at(line),
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"{rule_cls.__name__} has no id")
+    if rule.id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return rule_cls
+
+
+def registered_rules() -> dict[str, Rule]:
+    """id → rule instance, import-order stable."""
+    from repro.analysis import rules as _  # noqa: F401 - registration import
+
+    return dict(_RULES)
+
+
+def _pragmas_for(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
+    """line number → suppressed rule ids (``None`` = every rule)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for i, text in enumerate(lines, start=1):
+        if "repro:" not in text:
+            continue
+        m = _PRAGMA_RE.search(text)
+        if not m:
+            continue
+        listed = m.group("rules")
+        if listed is None:
+            out[i] = None
+        else:
+            out[i] = frozenset(
+                r.strip().upper() for r in listed.split(",") if r.strip()
+            )
+    return out
+
+
+@dataclass
+class LintResult:
+    """Violations plus bookkeeping for one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+
+def iter_source_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    seen: set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            seen.update(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            seen.add(p)
+    return sorted(seen)
+
+
+def lint_file(
+    path: Path,
+    config: LintConfig,
+    rules: Sequence[Rule],
+    result: LintResult,
+    source: str | None = None,
+) -> None:
+    """Parse one file once and run every applicable rule over the walk."""
+    if source is None:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            result.parse_errors.append(f"{path}: {exc}")
+            return
+    try:
+        rel = path.resolve().relative_to(config.root.resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        result.parse_errors.append(f"{rel}:{exc.lineno}: {exc.msg}")
+        return
+    ctx = FileContext(path, rel, source, tree, config)
+    active = [
+        r for r in rules if r.id not in config.disable and r.applies_to(ctx)
+    ]
+    result.files_checked += 1
+    if not active:
+        return
+    for rule in active:
+        rule.start(ctx)
+    interest_map: list[tuple[Rule, tuple[type, ...]]] = [
+        (r, r.interests) for r in active
+    ]
+    pragmas = _pragmas_for(ctx.lines)
+    found: list[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            ctx.record_import(node)
+        for rule, interests in interest_map:
+            if interests and not isinstance(node, interests):
+                continue
+            found.extend(rule.visit(node, ctx))
+    for rule in active:
+        found.extend(rule.finish(ctx))
+    for v in found:
+        suppressed = pragmas.get(v.line, ...)
+        if suppressed is None or (
+            suppressed is not ... and v.rule.upper() in suppressed
+        ):
+            continue
+        result.violations.append(v)
+
+
+def lint_paths(
+    paths: Sequence[Path] | None,
+    config: LintConfig,
+    rules: Sequence[Rule] | None = None,
+) -> LintResult:
+    """Lint files/directories (default: the configured paths)."""
+    if rules is None:
+        rules = list(registered_rules().values())
+    if paths is None:
+        paths = [config.root / p for p in config.paths]
+    result = LintResult()
+    for path in iter_source_files(list(paths)):
+        lint_file(path, config, rules, result)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result

@@ -1,0 +1,98 @@
+"""Render lint results as a terminal report or versioned JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.engine import LintResult, Violation, registered_rules
+
+__all__ = ["render_report", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_report(
+    result: LintResult,
+    new: list[Violation],
+    grandfathered: list[Violation],
+    stale: list[BaselineEntry],
+) -> str:
+    """Human-readable summary: violations, baseline health, rule counts."""
+    out: list[str] = []
+    for v in new:
+        out.append(v.render())
+    for err in result.parse_errors:
+        out.append(f"{err}: parse error")
+    if stale:
+        out.append("")
+        out.append("stale baseline entries (fix: remove them or rerun "
+                   "with --baseline):")
+        for e in stale:
+            out.append(f"  {e.rule} {e.path}: {e.snippet!r}")
+    out.append("")
+    counts: dict[str, int] = {}
+    for v in new:
+        counts[v.rule] = counts.get(v.rule, 0) + 1
+    summary = ", ".join(f"{r}:{n}" for r, n in sorted(counts.items()))
+    out.append(
+        f"checked {result.files_checked} files: "
+        f"{len(new)} violation(s)"
+        + (f" ({summary})" if summary else "")
+        + (f", {len(grandfathered)} baselined" if grandfathered else "")
+        + (f", {len(stale)} stale baseline entr"
+           f"{'y' if len(stale) == 1 else 'ies'}" if stale else "")
+        + (f", {len(result.parse_errors)} parse error(s)"
+           if result.parse_errors else "")
+    )
+    if not new and not stale and not result.parse_errors:
+        out.append("clean.")
+    return "\n".join(out).lstrip("\n")
+
+
+def _violation_dict(v: Violation, baselined: bool) -> dict:
+    return {
+        "rule": v.rule,
+        "path": v.path,
+        "line": v.line,
+        "col": v.col,
+        "message": v.message,
+        "snippet": v.snippet,
+        "baselined": baselined,
+    }
+
+
+def render_json(
+    result: LintResult,
+    new: list[Violation],
+    grandfathered: list[Violation],
+    stale: list[BaselineEntry],
+) -> str:
+    """Machine-readable dump (schema pinned by ``version``)."""
+    rules = registered_rules()
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules": {rid: r.summary for rid, r in sorted(rules.items())},
+        "violations": [
+            _violation_dict(v, baselined=False) for v in new
+        ] + [
+            _violation_dict(v, baselined=True) for v in grandfathered
+        ],
+        "stale_baseline": [
+            {
+                "rule": e.rule,
+                "path": e.path,
+                "snippet": e.snippet,
+                "reason": e.reason,
+            }
+            for e in stale
+        ],
+        "parse_errors": list(result.parse_errors),
+        "summary": {
+            "new": len(new),
+            "baselined": len(grandfathered),
+            "stale": len(stale),
+        },
+    }
+    return json.dumps(payload, indent=2)

@@ -12,6 +12,9 @@ Subcommands
   that was never submitted, given its requested resources.
 - ``trout telemetry`` — pretty-print a telemetry snapshot saved by a
   previous run's ``--telemetry=json --telemetry-out``.
+- ``trout lint`` — run the ``troutlint`` invariant checker
+  (:mod:`repro.analysis`) over the source tree; ``--format=json`` for
+  machines, ``--baseline`` to grandfather current violations.
 
 ``simulate``, ``train`` and ``predict`` accept ``--telemetry[=FMT]``
 (``report``, ``json`` or ``prom``): telemetry is force-enabled for the
@@ -28,6 +31,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.analysis.cli import add_lint_arguments, run_lint
 from repro.core import TroutConfig, TroutModel, train_trout
 from repro.core.config import RuntimeModelConfig
 from repro.core.training import build_feature_matrix
@@ -159,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument(
         "snapshot", type=Path, help="JSON snapshot from --telemetry=json"
     )
+
+    li = sub.add_parser(
+        "lint", help="run the troutlint invariant checker over the sources"
+    )
+    add_lint_arguments(li)
     return p
 
 
@@ -371,6 +380,7 @@ _COMMANDS = {
     "queue": _cmd_queue,
     "hypothetical": _cmd_hypothetical,
     "telemetry": _cmd_telemetry,
+    "lint": run_lint,
 }
 
 

@@ -7,9 +7,10 @@ plot (Fig. 2) a concrete data representation.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
-
 import numpy as np
+
+from repro.utils.rng import default_rng
+from repro.utils.text import format_table, format_timing_report
 
 __all__ = [
     "format_table",
@@ -18,54 +19,6 @@ __all__ = [
     "scatter_series",
     "ascii_scatter",
 ]
-
-
-def format_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    float_fmt: str = "{:.2f}",
-) -> str:
-    """Render an aligned text table."""
-    def fmt(v: object) -> str:
-        if isinstance(v, float) or isinstance(v, np.floating):
-            return float_fmt.format(float(v))
-        return str(v)
-
-    cells = [[fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(str(h)), *(len(r[j]) for r in cells)) if cells else len(str(h))
-        for j, h in enumerate(headers)
-    ]
-    out = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
-    out.append("  ".join("-" * w for w in widths))
-    for r in cells:
-        out.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
-    return "\n".join(out)
-
-
-def format_timing_report(
-    timings: Mapping[str, float],
-    cache_stats: object | None = None,
-) -> str:
-    """Per-stage wall-time table, optionally with cache hit/miss counters.
-
-    ``timings`` is the :attr:`FeatureMatrix.timings` mapping (stage →
-    seconds); ``cache_stats`` duck-types
-    :class:`repro.features.cache.CacheStats`.  Used by ``trout train -v``
-    and the feature-engineering benches.
-    """
-    total = float(timings.get("total", sum(timings.values())))
-    rows = []
-    for stage, secs in timings.items():
-        share = 100.0 * secs / total if total > 0 else 0.0
-        rows.append([stage, secs * 1e3, share])
-    out = format_table(["stage", "wall (ms)", "% of total"], rows)
-    if cache_stats is not None:
-        out += (
-            f"\ncache: {cache_stats.hits} hits, {cache_stats.misses} misses, "
-            f"{cache_stats.stores} stores, {cache_stats.invalid} invalid"
-        )
-    return out
 
 
 def density_series(
@@ -161,7 +114,7 @@ def scatter_series(
     y_true = np.asarray(y_true, dtype=np.float64)
     y_pred = np.asarray(y_pred, dtype=np.float64)
     if len(y_true) > max_points:
-        rng = np.random.default_rng(seed)
+        rng = default_rng(seed)
         sel = rng.choice(len(y_true), size=max_points, replace=False)
         y_true, y_pred = y_true[sel], y_pred[sel]
     return {"actual": y_true, "predicted": y_pred}

@@ -17,9 +17,10 @@ Robustness rules (all exercised by the failure-path tests):
   crash mid-write can never publish a half-written entry;
 - **versioned invalidation** — every entry embeds :data:`CACHE_VERSION`;
   entries from an older layout are treated as misses;
-- **corrupt-entry fallback** — any failure to read/parse an entry
-  (truncation, bad bytes, wrong arrays) is swallowed, counted in
-  :class:`CacheStats`, and answered with a recompute, never an exception.
+- **corrupt-entry fallback** — the failures a bad entry can cause
+  (truncation, bad bytes, missing or wrong arrays) are counted in
+  :class:`CacheStats` (mirrored to telemetry) and answered with a
+  recompute; anything outside that set is a bug and propagates.
 """
 
 from __future__ import annotations
@@ -27,6 +28,7 @@ from __future__ import annotations
 import hashlib
 import os
 import tempfile
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -74,6 +76,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     invalid: int = 0  # corrupt / stale-version entries discarded
+    store_failed: int = 0  # write attempts lost to I/O errors
 
     def bump(self, event: str, n: int = 1) -> None:
         setattr(self, event, getattr(self, event) + n)
@@ -147,7 +150,11 @@ class FeatureCache:
                 )
             if fm.X.ndim != 2 or fm.X.shape[0] != len(fm.queue_time_min):
                 raise ValueError("cached matrix shape is inconsistent")
-        except Exception as exc:
+        # Exactly the failures a bad entry can produce: truncated/corrupt
+        # zip containers, missing or mistyped members, short reads.  A
+        # TypeError or MemoryError here is a bug, not a bad entry — let it
+        # propagate instead of silently recomputing forever.
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile) as exc:
             self.stats.bump("invalid")
             self.stats.bump("misses")
             log.warning("discarding unusable cache entry %s: %r", path.name, exc)
@@ -185,7 +192,8 @@ class FeatureCache:
                 )
             os.replace(tmp, path)
             self.stats.bump("stores")
-        except Exception as exc:  # pragma: no cover - disk-full etc.
+        except OSError as exc:  # disk-full, permission flips, etc.
+            self.stats.bump("store_failed")
             log.warning("failed to store cache entry %s: %r", path.name, exc)
             try:
                 os.unlink(tmp)

@@ -25,6 +25,7 @@ from repro.ml.binning import BinnedMatrix, resolve_tree_method
 from repro.ml.tree import DecisionTreeRegressor, Tree, _Builder, _HistBuilder
 from repro.obs import metrics
 from repro.utils.parallel import parallel_map
+from repro.utils.rng import default_rng, spawn_seed_sequences
 from repro.utils.validation import check_2d, check_fitted
 
 __all__ = ["RandomForestRegressor"]
@@ -49,7 +50,7 @@ class _TreeTask:
     seed_state: np.random.SeedSequence
 
     def __call__(self, _: int = 0) -> Tree:
-        rng = np.random.default_rng(self.seed_state)
+        rng = default_rng(self.seed_state)
         n = len(self.y)
         idx = rng.integers(0, n, size=n) if self.bootstrap else slice(None)
         kwargs = dict(
@@ -122,7 +123,7 @@ class RandomForestRegressor(Regressor):
         binned = BinnedMatrix.from_matrix(X) if method == "hist" else None
         proto = DecisionTreeRegressor(max_features=self.max_features)
         mf = proto._resolve_max_features(X.shape[1])
-        seeds = np.random.SeedSequence(self.seed).spawn(self.n_estimators)
+        seeds = spawn_seed_sequences(self.seed, self.n_estimators)
         tasks = [
             _TreeTask(
                 X=None if binned is not None else X,

@@ -171,7 +171,7 @@ class Sequential:
         bs = min(batch_size, n)
         xb_full = self._ws.buf("fit_x", (bs, X.shape[1]), self.dtype)
         yb_full = self._ws.buf("fit_y", (bs, y.shape[1]), self.dtype)
-        identity_order = None if shuffle else np.arange(n)
+        identity_order = None if shuffle else np.arange(n, dtype=np.intp)
         cbs = [self.history, *callbacks]
         for cb in cbs:
             cb.on_train_begin(self)

@@ -9,7 +9,7 @@ formats it for a different consumer:
 - :func:`to_json` — a machine-readable snapshot ``trout telemetry`` can
   reload and pretty-print later;
 - :func:`render_report` — a terminal span tree plus metric tables,
-  extending :func:`repro.eval.report.format_timing_report` to the whole
+  extending :func:`repro.utils.text.format_timing_report` to the whole
   instrumented pipeline.
 """
 
@@ -18,9 +18,9 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
-from repro.eval.report import format_table, format_timing_report
 from repro.obs.metrics import Gauge, Histogram, MetricsRegistry, get_registry
 from repro.obs.tracing import Span, Tracer, get_tracer, span_timings
+from repro.utils.text import format_table, format_timing_report
 
 __all__ = [
     "snapshot",

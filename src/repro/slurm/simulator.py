@@ -221,7 +221,9 @@ class Simulator:
         preempt_ctr = reg.counter(
             "sim_preemptions_total", help="running jobs evicted by preemption"
         )
-        depth_hist = reg.histogram(
+        # Queue depth is a dimensionless job count — none of the unit
+        # suffixes apply, and the name is a published PR-3 surface.
+        depth_hist = reg.histogram(  # repro: ignore[OBS001]
             "sim_queue_depth_per_pass",
             help="pool queue depth seen by each scheduling pass",
             buckets=metrics.log_buckets(1.0, 1e5),

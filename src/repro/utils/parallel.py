@@ -71,6 +71,8 @@ class _LabelledCall:
         try:
             return self.fn(item)
         except Exception as exc:
+            # Broad on purpose: every worker failure must come back naming
+            # its chunk.  Re-raised immediately — nothing is swallowed.
             raise ParallelWorkerError(
                 f"worker failed on {label}: {exc!r}"
             ) from exc
@@ -108,10 +110,30 @@ def parallel_map(
     n = effective_n_jobs(n_jobs)
     if min_items_per_job > 0:
         n = min(n, max(1, len(items) // min_items_per_job))
-    if n <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=n) as pool:
-        return list(pool.map(fn, items))
+    try:
+        if n <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            return list(pool.map(fn, items))
+    except ParallelWorkerError:
+        _count_worker_failure()
+        raise
+
+
+def _count_worker_failure() -> None:
+    """Bump the fan-out failure counter in the *parent* process.
+
+    Function-scoped import: ``utils`` sits below ``obs`` in the layering
+    DAG, so the dependency stays runtime-only (IMP001 exempts these).
+    Counting here, rather than in the worker, also means the bump lands
+    in the registry that survives the pool.
+    """
+    from repro.obs import metrics
+
+    metrics.get_registry().counter(
+        "parallel_worker_failures_total",
+        help="parallel_map tasks that raised (labelled chunk re-raised)",
+    ).inc()
 
 
 def chunk_indices(n: int, n_chunks: int) -> list[np.ndarray]:

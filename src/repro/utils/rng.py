@@ -15,18 +15,25 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["default_rng", "spawn_rngs", "SeedSequenceFactory"]
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+    "SeedSequenceFactory",
+]
 
-
-def default_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+def default_rng(
+    seed: int | np.random.Generator | np.random.SeedSequence | None = None,
+) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Parameters
     ----------
     seed:
-        ``None`` for OS entropy, an ``int`` for a reproducible stream, or an
-        existing ``Generator`` which is passed through unchanged (so callers
-        can thread one stream through a pipeline).
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, a
+        ``SeedSequence`` (e.g. a spawned child carried to a worker
+        process), or an existing ``Generator`` which is passed through
+        unchanged (so callers can thread one stream through a pipeline).
     """
     if isinstance(seed, np.random.Generator):
         return seed
@@ -40,10 +47,22 @@ def spawn_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
     process in the random forest): each worker gets its own stream, and the
     result is identical whether the work runs serially or in parallel.
     """
+    return [np.random.default_rng(c) for c in spawn_seed_sequences(seed, n)]
+
+
+def spawn_seed_sequences(
+    seed: int | None, n: int
+) -> list[np.random.SeedSequence]:
+    """Spawn ``n`` independent child ``SeedSequence`` states from one seed.
+
+    The picklable flavour of :func:`spawn_rngs`: ship a child to a worker
+    process and materialise the generator there with
+    ``default_rng(child)`` — cheaper to pickle than a ``Generator`` and
+    identical serial or parallel.
+    """
     if n < 0:
         raise ValueError(f"n must be non-negative, got {n}")
-    seq = np.random.SeedSequence(seed)
-    return [np.random.default_rng(child) for child in seq.spawn(n)]
+    return list(np.random.SeedSequence(seed).spawn(n))
 
 
 class SeedSequenceFactory:

@@ -1,0 +1,39 @@
+"""Fixture snippets are written under a fake ``src/repro`` tree so module
+names (and hence rule scoping: DT001 → repro.nn, RNG001's exemption for
+repro.utils.rng …) resolve exactly as in the real repo."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.engine import LintResult, lint_file, registered_rules
+
+
+class SnippetLinter:
+    """Write one snippet file under a scratch project root and lint it."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.config = LintConfig(root=root)
+
+    def lint(self, rel_path: str, source: str) -> LintResult:
+        path = self.root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        result = LintResult()
+        lint_file(
+            path, self.config, list(registered_rules().values()), result
+        )
+        return result
+
+    def rules_fired(self, rel_path: str, source: str) -> list[str]:
+        return [v.rule for v in self.lint(rel_path, source).violations]
+
+
+@pytest.fixture
+def linter(tmp_path):
+    return SnippetLinter(tmp_path)

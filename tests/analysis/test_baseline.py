@@ -1,0 +1,105 @@
+"""Baseline semantics: round-trip, grandfathering, stale detection,
+count budgets, and malformed-file errors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry, apply
+from repro.analysis.engine import Violation
+
+
+def _v(rule="RNG001", path="src/repro/ml/x.py", line=3, snippet="x = 1"):
+    return Violation(
+        rule=rule, path=path, line=line, col=0, message="m", snippet=snippet
+    )
+
+
+def test_round_trip_preserves_entries(tmp_path):
+    base = Baseline(
+        [
+            BaselineEntry(
+                rule="IMP001",
+                path="src/repro/eval/comparison.py",
+                snippet="from repro.core.config import TroutConfig",
+                reason="grandfathered",
+            )
+        ]
+    )
+    path = tmp_path / "baseline.json"
+    base.save(path)
+    loaded = Baseline.load(path)
+    assert loaded.entries == base.entries
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    assert Baseline.load(tmp_path / "nope.json").entries == []
+
+
+def test_apply_splits_new_and_grandfathered():
+    old = _v(snippet="legacy()")
+    new = _v(snippet="fresh()")
+    base = Baseline.from_violations([old])
+    got_new, got_old, stale = apply([old, new], base)
+    assert got_new == [new]
+    assert got_old == [old]
+    assert stale == []
+
+
+def test_fixed_violation_makes_entry_stale():
+    base = Baseline.from_violations([_v(snippet="legacy()")])
+    got_new, got_old, stale = apply([], base)
+    assert got_new == [] and got_old == []
+    assert [e.snippet for e in stale] == ["legacy()"]
+
+
+def test_line_drift_does_not_stale_an_entry():
+    base = Baseline.from_violations([_v(line=3, snippet="legacy()")])
+    moved = _v(line=97, snippet="legacy()")
+    got_new, got_old, stale = apply([moved], base)
+    assert got_new == [] and got_old == [moved] and stale == []
+
+
+def test_count_budget_limits_duplicate_matches():
+    dup = _v(snippet="dup()")
+    base = Baseline.from_violations([dup, dup])
+    assert base.entries[0].count == 2
+    # three occurrences now: two grandfathered, the third is new
+    got_new, got_old, stale = apply([dup, dup, dup], base)
+    assert len(got_old) == 2 and len(got_new) == 1 and stale == []
+    # one occurrence now: budget underused → stale
+    _, _, stale = apply([dup], base)
+    assert len(stale) == 1
+
+
+def test_rewrite_keeps_existing_reasons():
+    v = _v(snippet="legacy()")
+    old = Baseline(
+        [
+            BaselineEntry(
+                rule=v.rule, path=v.path, snippet=v.snippet, reason="why"
+            )
+        ]
+    )
+    rewritten = Baseline.from_violations([v, _v(snippet="fresh()")], old=old)
+    reasons = {e.snippet: e.reason for e in rewritten.entries}
+    assert reasons["legacy()"] == "why"
+    assert reasons["fresh()"] == "TODO: justify"
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "not json at all",
+        json.dumps([1, 2, 3]),
+        json.dumps({"version": 99, "entries": []}),
+        json.dumps({"version": 1, "entries": [{"rule": "X"}]}),
+    ],
+)
+def test_malformed_baseline_raises_value_error(tmp_path, payload):
+    path = tmp_path / "baseline.json"
+    path.write_text(payload)
+    with pytest.raises(ValueError):
+        Baseline.load(path)

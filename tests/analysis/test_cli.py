@@ -1,0 +1,144 @@
+"""CLI surface: ``trout lint`` / ``python -m repro.analysis`` exit codes,
+output formats, the JSON schema, baseline rewriting, config overrides —
+and the gate itself: the real repo lints clean."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+from repro.analysis.report import JSON_SCHEMA_VERSION
+from repro.cli.main import main as trout_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _project(tmp_path: Path, source: str, rel="src/repro/ml/snippet.py"):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+CLEAN = """
+    from repro.utils.rng import default_rng
+    r = default_rng(0)
+"""
+DIRTY = """
+    import numpy as np
+    x = np.random.rand(3)
+"""
+
+
+def test_clean_project_exits_zero(tmp_path, capsys):
+    root = _project(tmp_path, CLEAN)
+    assert lint_main(["--root", str(root)]) == 0
+    assert "clean." in capsys.readouterr().out
+
+
+def test_violation_exits_one_and_names_the_rule(tmp_path, capsys):
+    root = _project(tmp_path, DIRTY)
+    assert lint_main(["--root", str(root)]) == 1
+    out = capsys.readouterr().out
+    assert "RNG001" in out and "src/repro/ml/snippet.py:3" in out
+
+
+def test_trout_lint_subcommand_matches_module_entry(tmp_path, capsys):
+    root = _project(tmp_path, DIRTY)
+    assert trout_main(["lint", "--root", str(root)]) == 1
+    assert "RNG001" in capsys.readouterr().out
+
+
+def test_json_format_schema(tmp_path, capsys):
+    root = _project(tmp_path, DIRTY)
+    assert lint_main(["--root", str(root), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert set(payload) == {
+        "version",
+        "files_checked",
+        "rules",
+        "violations",
+        "stale_baseline",
+        "parse_errors",
+        "summary",
+    }
+    assert set(payload["rules"]) == {
+        "RNG001", "RNG002", "DT001", "IMP001", "OBS001", "EXC001",
+    }
+    (v,) = payload["violations"]
+    assert set(v) == {
+        "rule", "path", "line", "col", "message", "snippet", "baselined",
+    }
+    assert v["rule"] == "RNG001" and v["baselined"] is False
+    assert payload["summary"] == {"new": 1, "baselined": 0, "stale": 0}
+
+
+def test_baseline_flag_grandfathers_then_stale_fails(tmp_path, capsys):
+    root = _project(tmp_path, DIRTY)
+    # 1. rewrite the baseline → the violation is grandfathered
+    assert lint_main(["--root", str(root), "--baseline"]) == 0
+    assert (root / "troutlint-baseline.json").is_file()
+    capsys.readouterr()
+    assert lint_main(["--root", str(root)]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # 2. fix the violation → the baseline entry goes stale and fails CI
+    _project(root, CLEAN)
+    assert lint_main(["--root", str(root)]) == 1
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_explicit_paths_override_config(tmp_path, capsys):
+    root = _project(tmp_path, DIRTY)
+    other = _project(tmp_path, CLEAN, rel="elsewhere/clean.py")
+    assert (
+        lint_main(["--root", str(root), str(other / "elsewhere")]) == 0
+    )
+
+
+def test_pyproject_overrides_are_honoured(tmp_path, capsys):
+    root = _project(tmp_path, DIRTY)
+    (root / "pyproject.toml").write_text(
+        '[tool.troutlint]\ndisable = ["RNG001"]\n'
+    )
+    assert lint_main(["--root", str(root)]) == 0
+
+
+def test_malformed_config_is_a_usage_error(tmp_path, capsys):
+    root = _project(tmp_path, CLEAN)
+    (root / "pyproject.toml").write_text(
+        "[tool.troutlint]\npaths = 3\n"
+    )
+    assert lint_main(["--root", str(root)]) == 2
+    assert "troutlint" in capsys.readouterr().err
+
+
+def test_python_dash_m_entry_point(tmp_path):
+    root = _project(tmp_path, DIRTY)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--root", str(root)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "RNG001" in proc.stdout
+
+
+# ------------------------------------------------------------------ #
+# the actual gate: this repository is lint-clean
+# ------------------------------------------------------------------ #
+def test_repo_sources_are_lint_clean(capsys):
+    """`trout lint` over the real src/ tree: no new violations, no stale
+    baseline entries.  This is the CI contract, enforced from tier-1 too
+    so a violating PR fails fast locally."""
+    rc = lint_main(["--root", str(REPO_ROOT)])
+    out = capsys.readouterr().out
+    assert rc == 0, f"repo is not lint-clean:\n{out}"

@@ -1,0 +1,501 @@
+"""Per-rule fixture snippets: one firing case and one clean case each,
+plus the scoping exemptions every rule promises."""
+
+from __future__ import annotations
+
+
+# --------------------------------------------------------------------- #
+# RNG001
+# --------------------------------------------------------------------- #
+class TestRng001:
+    def test_fires_on_raw_numpy_random_call(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            """,
+        )
+        assert fired == ["RNG001"]
+
+    def test_fires_on_seedsequence_and_aliased_import(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            import numpy
+            from numpy import random
+            a = numpy.random.SeedSequence(0)
+            b = random.default_rng(3)
+            """,
+        )
+        assert fired == ["RNG001", "RNG001"]
+
+    def test_fires_on_unseeded_default_rng(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/features/snippet.py",
+            """
+            from repro.utils.rng import default_rng
+            r = default_rng()
+            """,
+        )
+        assert fired == ["RNG001"]
+
+    def test_clean_on_seeded_helper(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/features/snippet.py",
+                """
+                from repro.utils.rng import default_rng
+                r = default_rng(0)
+                vals = r.normal(size=8)
+                """,
+            )
+            == []
+        )
+
+    def test_blessed_module_is_exempt(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/utils/rng.py",
+                """
+                import numpy as np
+                r = np.random.default_rng(0)
+                s = np.random.SeedSequence(1)
+                """,
+            )
+            == []
+        )
+
+    def test_generator_annotations_do_not_fire(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/ml/snippet.py",
+                """
+                import numpy as np
+
+                def f(rng: np.random.Generator) -> np.random.Generator:
+                    return rng
+                """,
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# RNG002
+# --------------------------------------------------------------------- #
+class TestRng002:
+    def test_fires_on_wall_clock(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/features/snippet.py",
+            """
+            import time
+            stamp = time.time()
+            """,
+        )
+        assert fired == ["RNG002"]
+
+    def test_fires_on_datetime_now(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/core/snippet.py",
+            """
+            from datetime import datetime
+            now = datetime.now()
+            """,
+        )
+        assert fired == ["RNG002"]
+
+    def test_monotonic_clocks_are_clean(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/utils/snippet.py",
+                """
+                import time
+                t0 = time.perf_counter()
+                t1 = time.monotonic()
+                """,
+            )
+            == []
+        )
+
+    def test_obs_package_is_exempt(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/obs/snippet.py",
+                """
+                import time
+                stamp = time.time()
+                """,
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# DT001
+# --------------------------------------------------------------------- #
+class TestDt001:
+    def test_fires_without_dtype_in_nn(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/nn/snippet.py",
+            """
+            import numpy as np
+            buf = np.zeros((4, 4))
+            idx = np.arange(10)
+            """,
+        )
+        assert fired == ["DT001", "DT001"]
+
+    def test_clean_with_dtype(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/nn/snippet.py",
+                """
+                import numpy as np
+                a = np.zeros((4, 4), dtype=np.float32)
+                b = np.zeros((4, 4), np.float32)
+                c = np.full((2,), 0.5, np.float32)
+                d = np.arange(10, dtype=np.intp)
+                e = np.zeros_like(a)
+                """,
+            )
+            == []
+        )
+
+    def test_only_scoped_to_nn(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/ml/snippet.py",
+                """
+                import numpy as np
+                a = np.zeros(4)
+                """,
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# IMP001
+# --------------------------------------------------------------------- #
+class TestImp001:
+    def test_fires_on_upward_import(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/utils/snippet.py",
+            """
+            from repro.core.config import TroutConfig
+            """,
+        )
+        assert fired == ["IMP001"]
+
+    def test_fires_on_from_package_root_form(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/data/snippet.py",
+            """
+            from repro import core
+            """,
+        )
+        assert fired == ["IMP001"]
+
+    def test_downward_import_is_clean(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/core/snippet.py",
+                """
+                from repro.utils.rng import default_rng
+                from repro.nn.network import Sequential
+                """,
+            )
+            == []
+        )
+
+    def test_function_scoped_import_is_exempt(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/utils/snippet.py",
+                """
+                def bump():
+                    from repro.obs import metrics
+                    return metrics
+                """,
+            )
+            == []
+        )
+
+    def test_type_checking_guard_is_exempt(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/utils/snippet.py",
+                """
+                from typing import TYPE_CHECKING
+
+                if TYPE_CHECKING:
+                    from repro.core.config import TroutConfig
+                """,
+            )
+            == []
+        )
+
+    def test_relative_import_resolves_against_package(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/obs/snippet.py",
+            """
+            from .metrics import get_registry
+            """,
+        )
+        assert fired == []
+
+    def test_unknown_package_is_reported(self, linter):
+        fired = linter.lint(
+            "src/repro/newpkg/snippet.py",
+            """
+            from repro.utils.rng import default_rng
+            """,
+        ).violations
+        assert [v.rule for v in fired] == ["IMP001"]
+        assert "not in the layering config" in fired[0].message
+
+
+# --------------------------------------------------------------------- #
+# OBS001
+# --------------------------------------------------------------------- #
+class TestObs001:
+    def test_counter_must_end_total(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            from repro.obs import metrics
+            metrics.get_registry().counter("trees_fitted").inc()
+            """,
+        )
+        assert fired == ["OBS001"]
+
+    def test_histogram_needs_unit_suffix(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            from repro.obs import metrics
+            metrics.get_registry().histogram("fit_latency").observe(1.0)
+            """,
+        )
+        assert fired == ["OBS001"]
+
+    def test_names_must_be_snake_case(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            from repro.obs import metrics
+            metrics.get_registry().gauge("FitLoss").set(1.0)
+            """,
+        )
+        assert fired == ["OBS001"]
+
+    def test_conventional_names_are_clean(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/ml/snippet.py",
+                """
+                from repro.obs import metrics
+
+                reg = metrics.get_registry()
+                reg.counter("trees_fitted_total").inc()
+                reg.histogram("fit_seconds").observe(0.5)
+                reg.gauge("holdout_mape").set(97.0)
+                """,
+            )
+            == []
+        )
+
+    def test_fstring_checked_on_constant_fragments(self, linter):
+        clean = linter.rules_fired(
+            "src/repro/features/snippet.py",
+            """
+            from repro.obs import metrics
+
+            def bump(event):
+                metrics.get_registry().counter(f"cache_{event}_total").inc()
+            """,
+        )
+        assert clean == []
+        fired = linter.rules_fired(
+            "src/repro/features/snippet.py",
+            """
+            from repro.obs import metrics
+
+            def bump(event):
+                metrics.get_registry().counter(f"cache_{event}_count").inc()
+            """,
+        )
+        assert fired == ["OBS001"]
+
+
+# --------------------------------------------------------------------- #
+# EXC001
+# --------------------------------------------------------------------- #
+class TestExc001:
+    def test_fires_on_swallowed_broad_except(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/features/snippet.py",
+            """
+            def f():
+                try:
+                    return 1
+                except Exception:
+                    pass
+            """,
+        )
+        assert fired == ["EXC001"]
+
+    def test_bare_except_must_reraise_even_if_logged(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/features/snippet.py",
+            """
+            from repro.utils.logging import get_logger
+
+            log = get_logger(__name__)
+
+            def f():
+                try:
+                    return 1
+                except:
+                    log.warning("boom")
+            """,
+        )
+        assert fired == ["EXC001"]
+
+    def test_reraise_logging_and_telemetry_are_compliant(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/features/snippet.py",
+                """
+                from repro.obs import metrics
+                from repro.utils.logging import get_logger
+
+                log = get_logger(__name__)
+
+                def narrow(x):
+                    try:
+                        return 1 / x
+                    except Exception as exc:
+                        raise ValueError("domain") from exc
+
+                def logged(x):
+                    try:
+                        return 1 / x
+                    except Exception:
+                        log.warning("failed")
+                        return None
+
+                def counted(x):
+                    try:
+                        return 1 / x
+                    except Exception:
+                        metrics.get_registry().counter("f_total").inc()
+                        return None
+                """,
+            )
+            == []
+        )
+
+    def test_narrow_except_is_clean(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/features/snippet.py",
+                """
+                def f(d):
+                    try:
+                        return d["k"]
+                    except KeyError:
+                        return None
+                """,
+            )
+            == []
+        )
+
+
+# --------------------------------------------------------------------- #
+# pragma suppression
+# --------------------------------------------------------------------- #
+class TestPragma:
+    def test_rule_scoped_pragma_suppresses(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/ml/snippet.py",
+                """
+                import numpy as np
+                x = np.random.rand(3)  # repro: ignore[RNG001]
+                """,
+            )
+            == []
+        )
+
+    def test_pragma_rule_ids_are_case_insensitive(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/ml/snippet.py",
+                """
+                import numpy as np
+                x = np.random.rand(3)  # repro: ignore[rng001]
+                """,
+            )
+            == []
+        )
+
+    def test_blanket_pragma_suppresses_everything(self, linter):
+        assert (
+            linter.rules_fired(
+                "src/repro/nn/snippet.py",
+                """
+                import numpy as np
+                x = np.zeros(np.random.randint(4))  # repro: ignore
+                """,
+            )
+            == []
+        )
+
+    def test_pragma_for_other_rule_does_not_suppress(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            import numpy as np
+            x = np.random.rand(3)  # repro: ignore[DT001]
+            """,
+        )
+        assert fired == ["RNG001"]
+
+    def test_pragma_only_covers_its_line(self, linter):
+        fired = linter.rules_fired(
+            "src/repro/ml/snippet.py",
+            """
+            import numpy as np  # repro: ignore
+            x = np.random.rand(3)
+            """,
+        )
+        assert fired == ["RNG001"]
+
+
+# --------------------------------------------------------------------- #
+# engine behaviour
+# --------------------------------------------------------------------- #
+class TestEngine:
+    def test_syntax_error_is_reported_not_raised(self, linter):
+        result = linter.lint("src/repro/ml/snippet.py", "def broken(:\n")
+        assert result.violations == []
+        assert len(result.parse_errors) == 1
+
+    def test_files_outside_src_roots_have_no_module_scope(self, linter):
+        # A script outside src/ still gets package-agnostic rules (EXC001)
+        # but not the repro-scoped ones (DT001 needs repro.nn).
+        fired = linter.rules_fired(
+            "scripts/tool.py",
+            """
+            import numpy as np
+
+            def f():
+                try:
+                    return np.zeros(3)
+                except Exception:
+                    pass
+            """,
+        )
+        assert fired == ["EXC001"]
