@@ -41,16 +41,19 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "utils", "obs", "data", "slurm", "features", "ml", "nn",
         "sampling", "hpo", "eval",
     ),
+    "serve": (
+        "utils", "obs", "data", "features", "ml", "nn", "eval", "core",
+    ),
     "analysis": ("utils",),
     "cli": (
         "utils", "obs", "data", "slurm", "features", "ml", "nn",
         "sampling", "explain", "hpo", "eval", "core", "workload",
-        "analysis",
+        "analysis", "serve",
     ),
     "": (
         "utils", "obs", "data", "slurm", "features", "ml", "nn",
         "sampling", "explain", "hpo", "eval", "core", "workload",
-        "analysis", "cli",
+        "analysis", "serve", "cli",
     ),
 }
 

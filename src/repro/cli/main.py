@@ -10,6 +10,11 @@ Subcommands
 - ``trout predict`` — Algorithm 1 on an existing job id from a trace.
 - ``trout hypothetical`` — §V's future-work feature: predict for a job
   that was never submitted, given its requested resources.
+- ``trout serve`` — the online prediction service (DESIGN.md §10):
+  micro-batched ``/predict`` over a hot-reloaded model registry, plus
+  ``/healthz`` and Prometheus ``/metrics``.
+- ``trout publish`` — atomically publish a trained model directory as
+  the next version of a serving registry.
 - ``trout telemetry`` — pretty-print a telemetry snapshot saved by a
   previous run's ``--telemetry=json --telemetry-out``.
 - ``trout lint`` — run the ``troutlint`` invariant checker
@@ -156,6 +161,48 @@ def build_parser() -> argparse.ArgumentParser:
     hy.add_argument("--nodes", type=int, default=1)
     hy.add_argument("--timelimit-min", type=float, default=240.0)
     hy.add_argument("--user-id", type=int, default=0)
+
+    se = sub.add_parser(
+        "serve", help="online prediction service over a model registry"
+    )
+    se.add_argument(
+        "--model-dir",
+        type=Path,
+        required=True,
+        help="a registry root (vNNNN version dirs, hot-reloaded) or a "
+        "single trained model directory from `trout train`",
+    )
+    se.add_argument("--host", type=str, default="127.0.0.1")
+    se.add_argument("--port", type=int, default=8080)
+    se.add_argument(
+        "--max-batch", type=int, default=32,
+        help="rows coalesced into one model call",
+    )
+    se.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="how long a batch waits for more requests once one arrived",
+    )
+    se.add_argument(
+        "--queue-depth", type=int, default=128,
+        help="pending-request bound; beyond it requests get 503 + Retry-After",
+    )
+    se.add_argument(
+        "--reload-interval", type=float, default=2.0,
+        help="registry poll interval (seconds) for hot reload",
+    )
+
+    pu = sub.add_parser(
+        "publish", help="atomically publish a trained model into a registry"
+    )
+    pu.add_argument("--model", type=Path, required=True,
+                    help="model directory from `trout train`")
+    pu.add_argument("--registry", type=Path, required=True,
+                    help="registry root (created if missing)")
+    pu.add_argument(
+        "--partitions", type=str, default="",
+        help="comma-separated partition names the model serves "
+        "(empty = accept any)",
+    )
 
     te = sub.add_parser(
         "telemetry", help="pretty-print a saved telemetry snapshot"
@@ -338,6 +385,78 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        LoadedModel,
+        ModelRegistry,
+        PredictionService,
+        RegistryError,
+        ServeConfig,
+        start_server,
+    )
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_depth=args.queue_depth,
+        reload_interval_s=args.reload_interval,
+    )
+    registry = None
+    if (args.model_dir / "meta.json").is_file():
+        # A bare `trout train` output: fixed model, no hot reload.
+        loaded = LoadedModel(
+            model=TroutModel.load(args.model_dir), version=0, fingerprint=""
+        )
+        print(f"serving fixed model from {args.model_dir}")
+    else:
+        registry = ModelRegistry(args.model_dir)
+        try:
+            loaded = registry.load_latest()
+        except RegistryError as exc:
+            print(f"cannot serve from {args.model_dir}: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"serving registry {args.model_dir} at version {loaded.version} "
+            f"(hot reload every {config.reload_interval_s:g}s)"
+        )
+    service = PredictionService(loaded, config, registry=registry)
+    server = start_server(service, config.host, config.port)
+    print(
+        f"listening on http://{config.host}:{server.port} "
+        f"(POST /predict, GET /healthz, GET /metrics) — Ctrl-C to stop"
+    )
+    from time import sleep
+
+    try:
+        while True:
+            sleep(3600.0)
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown_service()
+    return 0
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    from repro.serve import RegistryError, publish_model
+
+    try:
+        model = TroutModel.load(args.model)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"cannot load model {args.model}: {exc}", file=sys.stderr)
+        return 1
+    partitions = tuple(p for p in args.partitions.split(",") if p)
+    try:
+        version = publish_model(args.registry, model, partitions=partitions)
+    except (OSError, RegistryError) as exc:
+        print(f"publish failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"published version {version} to {args.registry}")
+    return 0
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     import json
 
@@ -379,6 +498,8 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "queue": _cmd_queue,
     "hypothetical": _cmd_hypothetical,
+    "serve": _cmd_serve,
+    "publish": _cmd_publish,
     "telemetry": _cmd_telemetry,
     "lint": run_lint,
 }

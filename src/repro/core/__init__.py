@@ -24,8 +24,18 @@ from repro.core.training import (
     train_trout,
 )
 from repro.core.tuning import TuningConfig, tune_regressor
+from repro.core.zoo import (
+    ComparisonResult,
+    ModelScore,
+    compare_models,
+    default_model_zoo,
+)
 
 __all__ = [
+    "ComparisonResult",
+    "ModelScore",
+    "compare_models",
+    "default_model_zoo",
     "TroutConfig",
     "ClassifierConfig",
     "RegressorConfig",

@@ -1,0 +1,40 @@
+"""Online serving: ``trout serve`` (DESIGN.md §10).
+
+The pieces, bottom-up:
+
+- :mod:`repro.serve.registry` — versioned on-disk model registry with
+  atomic publish and fingerprint-verified loads;
+- :mod:`repro.serve.batcher` — the request micro-batcher that coalesces
+  concurrent predictions into one pass through the allocation-free NN
+  predict path;
+- :mod:`repro.serve.service` — request validation, admission control,
+  and the hot-reload watcher tying registry and batcher together;
+- :mod:`repro.serve.http` — the stdlib threaded HTTP front end
+  (``/predict``, ``/healthz``, ``/metrics``).
+"""
+
+from repro.serve.batcher import BatchTicket, MicroBatcher, QueueFullError
+from repro.serve.config import ServeConfig
+from repro.serve.registry import (
+    LoadedModel,
+    ModelRegistry,
+    RegistryError,
+    publish_model,
+)
+from repro.serve.service import PredictionService, ServeResponse
+from repro.serve.http import TroutHTTPServer, start_server
+
+__all__ = [
+    "BatchTicket",
+    "LoadedModel",
+    "MicroBatcher",
+    "ModelRegistry",
+    "PredictionService",
+    "QueueFullError",
+    "RegistryError",
+    "ServeConfig",
+    "ServeResponse",
+    "TroutHTTPServer",
+    "publish_model",
+    "start_server",
+]

@@ -1,0 +1,218 @@
+"""Request micro-batcher: many concurrent callers, one model pass.
+
+Single-request serving wastes the NN's batch throughput — a forward pass
+over 32 rows costs barely more than over one (the PR-4 allocation-free
+path amortises its fixed per-call work across rows).  The batcher owns a
+bounded queue of pending requests and one worker thread that drains it:
+the first request opens a batch, further arrivals join until either
+``max_batch`` rows are collected or ``max_wait`` elapses, then the whole
+block goes through ``predict_fn`` in one call.
+
+Concurrency contract, relied on by the serve test suite:
+
+- only the worker thread ever touches the shared row workspace; caller
+  rows are **copied in** before the model call and results are plain
+  per-request Python objects, so nothing a caller receives aliases the
+  workspace;
+- every submitted ticket is resolved exactly once (result or error),
+  including on shutdown;
+- ``submit`` never blocks on the model: a full queue raises
+  :class:`QueueFullError` immediately (admission control's shed signal).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import monotonic, perf_counter
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.obs.metrics import get_registry
+from repro.utils.logging import get_logger
+
+__all__ = ["BatchTicket", "MicroBatcher", "QueueFullError"]
+
+log = get_logger(__name__)
+
+
+class QueueFullError(RuntimeError):
+    """The pending-request queue is at ``queue_depth`` — shed the request."""
+
+
+class BatchTicket:
+    """One pending request: a feature row in, one result or error out."""
+
+    __slots__ = ("row", "result", "error", "_event")
+
+    def __init__(self, row: np.ndarray) -> None:
+        self.row = row
+        self.result: object | None = None
+        self.error: BaseException | None = None
+        self._event = threading.Event()
+
+    def resolve(self, result: object) -> None:
+        self.result = result
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> object:
+        """Block until resolved; re-raises the batch's error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("prediction did not complete in time")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+
+class MicroBatcher:
+    """Coalesce concurrent prediction requests into bounded batches.
+
+    Parameters
+    ----------
+    predict_fn:
+        Called from the worker thread with a ``(n, n_features)`` float64
+        view into the reused workspace (``1 <= n <= max_batch``); must
+        return one result per row.  Swappable at runtime (hot reload
+        assigns a new closure); the assignment is atomic, and a batch in
+        flight finishes on whichever function it started with.
+    """
+
+    def __init__(
+        self,
+        predict_fn: Callable[[np.ndarray], Sequence[object]],
+        n_features: int,
+        max_batch: int = 32,
+        max_wait_s: float = 0.005,
+        queue_depth: int = 128,
+    ) -> None:
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self.predict_fn = predict_fn
+        self.n_features = n_features
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.queue_depth = queue_depth
+        self._queue: deque[BatchTicket] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        # Shared batch workspace: worker-thread-only by contract.
+        self._workspace = np.empty((max_batch, n_features), dtype=np.float64)
+        reg = get_registry()
+        self._batches_total = reg.counter(
+            "serve_batches_total", help="model calls made by the micro-batcher"
+        )
+        self._batched_requests_total = reg.counter(
+            "serve_batched_requests_total",
+            help="requests answered through the micro-batcher",
+        )
+        self._batch_errors_total = reg.counter(
+            "serve_batch_errors_total",
+            help="batches whose model call raised",
+        )
+        self._queue_depth_gauge = reg.gauge(
+            "serve_queue_depth", help="requests waiting for a batch slot"
+        )
+        self._batch_wait = reg.histogram(
+            "serve_batch_wait_seconds",
+            help="time the first request of each batch waited for company",
+            buckets=(0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1),
+        )
+        self._thread = threading.Thread(
+            target=self._run, name="trout-serve-batcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    def submit(self, row: np.ndarray) -> BatchTicket:
+        """Enqueue one feature row; raises :class:`QueueFullError` when the
+        pending queue is at ``queue_depth`` and on a closed batcher."""
+        row = np.ascontiguousarray(row, dtype=np.float64)
+        if row.shape != (self.n_features,):
+            raise ValueError(
+                f"expected a ({self.n_features},) feature row, got {row.shape}"
+            )
+        ticket = BatchTicket(row)
+        with self._cond:
+            if self._closed:
+                raise QueueFullError("batcher is shut down")
+            if len(self._queue) >= self.queue_depth:
+                raise QueueFullError(
+                    f"queue depth {self.queue_depth} reached"
+                )
+            self._queue.append(ticket)
+            self._queue_depth_gauge.set(float(len(self._queue)))
+            self._cond.notify()
+        return ticket
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker; unresolved tickets fail with QueueFullError."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout)
+        with self._cond:
+            drained = list(self._queue)
+            self._queue.clear()
+        for ticket in drained:
+            ticket.fail(QueueFullError("batcher shut down before serving"))
+
+    # ------------------------------------------------------------------ #
+    def _collect(self) -> list[BatchTicket] | None:
+        """Block for the first ticket, then gather until full or deadline."""
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            batch = [self._queue.popleft()]
+            deadline = monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                remaining = deadline - monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._cond.wait(remaining)
+            self._queue_depth_gauge.set(float(len(self._queue)))
+            return batch
+
+    def _run(self) -> None:
+        while True:
+            t0 = perf_counter()
+            batch = self._collect()
+            if batch is None:
+                return
+            self._batch_wait.observe(perf_counter() - t0)
+            rows = self._workspace[: len(batch)]
+            for i, ticket in enumerate(batch):
+                rows[i] = ticket.row
+            predict = self.predict_fn  # snapshot: hot reload swaps this
+            try:
+                results = predict(rows)
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"predict_fn returned {len(results)} results "
+                        f"for {len(batch)} rows"
+                    )
+            except Exception as exc:
+                self._batch_errors_total.inc()
+                log.warning("batch of %d failed: %s", len(batch), exc)
+                for ticket in batch:
+                    ticket.fail(exc)
+                continue
+            self._batches_total.inc()
+            self._batched_requests_total.inc(float(len(batch)))
+            for ticket, result in zip(batch, results):
+                ticket.resolve(result)

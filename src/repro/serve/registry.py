@@ -1,0 +1,205 @@
+"""Versioned on-disk model registry with atomic publish.
+
+Layout — one directory per published version under a registry root::
+
+    registry/
+      v0001/
+        classifier.npz  regressor.npz  scalers.npz  meta.json
+        MANIFEST.json
+      v0002/
+        ...
+
+Highest version wins.  Publishing stages the artifact into a
+dot-prefixed temporary directory (invisible to :meth:`ModelRegistry.scan`)
+and then ``os.replace``-renames it into place, so a reader can never see
+a half-written version.  ``MANIFEST.json`` records the version number and
+a SHA-256 fingerprint over every artifact file; :meth:`ModelRegistry.load`
+re-hashes and refuses anything that does not match — a truncated weight
+file, a tampered manifest, or a version field that disagrees with the
+directory name all fail loudly instead of serving garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.hierarchical import TroutModel
+from repro.utils.logging import get_logger
+
+__all__ = ["LoadedModel", "ModelRegistry", "RegistryError", "publish_model"]
+
+log = get_logger(__name__)
+
+MANIFEST_NAME = "MANIFEST.json"
+_VERSION_WIDTH = 4
+
+
+class RegistryError(RuntimeError):
+    """A registry version is missing, corrupt, or inconsistent."""
+
+
+@dataclass
+class LoadedModel:
+    """One registry version, loaded and verified."""
+
+    model: TroutModel
+    version: int
+    fingerprint: str
+    partitions: tuple[str, ...] = ()
+
+    def known_partition(self, name: str) -> bool:
+        """Whether ``name`` is servable (no partition list = accept all)."""
+        return not self.partitions or name in self.partitions
+
+
+def _version_dirname(version: int) -> str:
+    return f"v{version:0{_VERSION_WIDTH}d}"
+
+
+def _parse_version(name: str) -> int | None:
+    if len(name) < _VERSION_WIDTH + 1 or name[0] != "v":
+        return None
+    digits = name[1:]
+    return int(digits) if digits.isdigit() else None
+
+
+def artifact_fingerprint(directory: str | Path) -> str:
+    """SHA-256 over every artifact file (name + bytes), manifest excluded.
+
+    Order-independent of the filesystem: files are hashed in sorted-name
+    order, so the same artifact always fingerprints identically.
+    """
+    d = Path(directory)
+    h = hashlib.sha256()
+    for path in sorted(p for p in d.iterdir() if p.name != MANIFEST_NAME):
+        if not path.is_file():
+            raise RegistryError(f"unexpected non-file artifact {path.name!r}")
+        h.update(path.name.encode("utf-8"))
+        h.update(b"\x00")
+        h.update(path.read_bytes())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def publish_model(
+    registry_root: str | Path,
+    model: TroutModel,
+    partitions: tuple[str, ...] | list[str] = (),
+) -> int:
+    """Atomically publish ``model`` as the registry's next version.
+
+    Stages into ``.staging-vNNNN`` (ignored by scans), writes the
+    manifest last, then renames the whole directory into place.  Returns
+    the published version number.
+    """
+    root = Path(registry_root)
+    root.mkdir(parents=True, exist_ok=True)
+    registry = ModelRegistry(root)
+    version = (registry.latest_version() or 0) + 1
+    final = root / _version_dirname(version)
+    staging = root / f".staging-{_version_dirname(version)}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    try:
+        model.save(staging)
+        manifest = {
+            "version": version,
+            "fingerprint": artifact_fingerprint(staging),
+            "partitions": list(partitions),
+        }
+        (staging / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+        os.replace(staging, final)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    log.info("published model version %d to %s", version, final)
+    return version
+
+
+class ModelRegistry:
+    """Read side of the registry: scan, verify, load."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    def versions(self) -> list[int]:
+        """Published version numbers, ascending (staging dirs excluded)."""
+        if not self.root.is_dir():
+            return []
+        found = []
+        for entry in self.root.iterdir():
+            v = _parse_version(entry.name)
+            if v is not None and entry.is_dir():
+                found.append(v)
+        return sorted(found)
+
+    def latest_version(self) -> int | None:
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def version_dir(self, version: int) -> Path:
+        return self.root / _version_dirname(version)
+
+    # ------------------------------------------------------------------ #
+    def read_manifest(self, version: int) -> dict:
+        path = self.version_dir(version) / MANIFEST_NAME
+        try:
+            manifest = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise RegistryError(
+                f"version {version} has no {MANIFEST_NAME} — "
+                "half-written publish (missing atomic rename)?"
+            ) from None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise RegistryError(
+                f"version {version} manifest unreadable: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict):
+            raise RegistryError(f"version {version} manifest is not an object")
+        return manifest
+
+    def load(self, version: int) -> LoadedModel:
+        """Load and verify one version; raises :class:`RegistryError` on
+        any inconsistency, leaving the caller's current model untouched."""
+        d = self.version_dir(version)
+        if not d.is_dir():
+            raise RegistryError(f"version {version} does not exist")
+        manifest = self.read_manifest(version)
+        declared = manifest.get("version")
+        if declared != version:
+            raise RegistryError(
+                f"version downgrade/mismatch: directory {d.name} declares "
+                f"version {declared!r}"
+            )
+        fingerprint = manifest.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise RegistryError(f"version {version} manifest lacks a fingerprint")
+        actual = artifact_fingerprint(d)
+        if actual != fingerprint:
+            raise RegistryError(
+                f"version {version} fingerprint mismatch: artifact is "
+                "corrupt or was modified after publish"
+            )
+        try:
+            model = TroutModel.load(d)
+        except Exception as exc:
+            raise RegistryError(f"version {version} failed to load: {exc}") from exc
+        partitions = tuple(str(p) for p in manifest.get("partitions", ()))
+        return LoadedModel(
+            model=model,
+            version=version,
+            fingerprint=fingerprint,
+            partitions=partitions,
+        )
+
+    def load_latest(self) -> LoadedModel:
+        latest = self.latest_version()
+        if latest is None:
+            raise RegistryError(f"registry {self.root} has no published versions")
+        return self.load(latest)

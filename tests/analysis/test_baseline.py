@@ -4,11 +4,14 @@ count budgets, and malformed-file errors."""
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.analysis.baseline import Baseline, BaselineEntry, apply
 from repro.analysis.engine import Violation
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def _v(rule="RNG001", path="src/repro/ml/x.py", line=3, snippet="x = 1"):
@@ -87,6 +90,14 @@ def test_rewrite_keeps_existing_reasons():
     reasons = {e.snippet: e.reason for e in rewritten.entries}
     assert reasons["legacy()"] == "why"
     assert reasons["fresh()"] == "TODO: justify"
+
+
+def test_checked_in_baseline_is_empty():
+    """The grandfathered debt is paid off (the eval→core import inversion
+    moved to ``repro.core.zoo``); nothing may ever be re-baselined."""
+    path = REPO_ROOT / "troutlint-baseline.json"
+    assert path.is_file(), "troutlint-baseline.json must stay checked in"
+    assert Baseline.load(path).entries == []
 
 
 @pytest.mark.parametrize(
