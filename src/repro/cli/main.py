@@ -16,15 +16,21 @@ Subcommands
 - ``trout publish`` — atomically publish a trained model directory as
   the next version of a serving registry.
 - ``trout telemetry`` — pretty-print a telemetry snapshot saved by a
-  previous run's ``--telemetry=json --telemetry-out``.
+  previous run's ``--telemetry=json --telemetry-out``;
+  ``--format=chrome`` re-renders it as Chrome trace-event JSON for
+  ``chrome://tracing`` / Perfetto.
+- ``trout audit`` — inspect (``tail``/``stats``) or re-score
+  (``replay``) the prediction audit trail ``trout serve --audit-log``
+  writes; replay joins actual queue minutes and runs the same
+  rolling-MAPE drift monitor as the online path.
 - ``trout lint`` — run the ``troutlint`` invariant checker
   (:mod:`repro.analysis`) over the source tree; ``--format=json`` for
   machines, ``--baseline`` to grandfather current violations.
 
 ``simulate``, ``train`` and ``predict`` accept ``--telemetry[=FMT]``
-(``report``, ``json`` or ``prom``): telemetry is force-enabled for the
-run and a snapshot is dumped on exit — to stdout, or to
-``--telemetry-out PATH``.
+(``report``, ``json``, ``prom`` or ``chrome``): telemetry is
+force-enabled for the run and a snapshot is dumped on exit — to stdout,
+or to ``--telemetry-out PATH``.
 """
 
 from __future__ import annotations
@@ -59,7 +65,7 @@ def _add_telemetry_args(sp: argparse.ArgumentParser) -> None:
         "--telemetry",
         nargs="?",
         const="report",
-        choices=("report", "json", "prom"),
+        choices=("report", "json", "prom", "chrome"),
         default=None,
         help="dump a telemetry snapshot on exit (bare flag = report)",
     )
@@ -190,6 +196,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--reload-interval", type=float, default=2.0,
         help="registry poll interval (seconds) for hot reload",
     )
+    se.add_argument(
+        "--audit-log", type=Path, default=None,
+        help="append one JSONL audit record per prediction here "
+        "(size-rotated; replay later with `trout audit replay`)",
+    )
+    se.add_argument(
+        "--event-log", type=Path, default=None,
+        help="write info-and-up structured events here as JSONL "
+        "(size-rotated)",
+    )
 
     pu = sub.add_parser(
         "publish", help="atomically publish a trained model into a registry"
@@ -210,6 +226,41 @@ def build_parser() -> argparse.ArgumentParser:
     te.add_argument(
         "snapshot", type=Path, help="JSON snapshot from --telemetry=json"
     )
+    te.add_argument(
+        "--format",
+        choices=("report", "chrome"),
+        default="report",
+        help="terminal report (default) or Chrome trace-event JSON "
+        "for chrome://tracing / Perfetto",
+    )
+
+    au = sub.add_parser(
+        "audit", help="inspect or replay a serving audit trail"
+    )
+    ausub = au.add_subparsers(dest="audit_command", required=True)
+    at = ausub.add_parser("tail", help="print the most recent audit records")
+    at.add_argument("log", type=Path, help="audit JSONL from `trout serve --audit-log`")
+    at.add_argument("-n", type=int, default=10, help="records to show")
+    ast = ausub.add_parser("stats", help="aggregate a whole audit trail")
+    ast.add_argument("log", type=Path, help="audit JSONL from `trout serve --audit-log`")
+    ar = ausub.add_parser(
+        "replay",
+        help="score a trail against actual queue minutes (rolling MAPE + drift)",
+    )
+    ar.add_argument("log", type=Path, help="audit JSONL from `trout serve --audit-log`")
+    ar.add_argument(
+        "--actuals", type=Path, default=None,
+        help="JSON object {request_id: actual_minutes} or JSONL records "
+        "with request_id + actual_minutes; records already carrying "
+        "actual_minutes need no file",
+    )
+    ar.add_argument("--threshold", type=float, default=200.0,
+                    help="rolling-MAPE drift alarm threshold (%%)")
+    ar.add_argument("--window", type=int, default=500,
+                    help="rolling window size (scored long-wait jobs)")
+    ar.add_argument("--min-samples", type=int, default=50,
+                    help="rolling MAPE undefined below this many samples")
+    ar.add_argument("--format", choices=("report", "json"), default="report")
 
     li = sub.add_parser(
         "lint", help="run the troutlint invariant checker over the sources"
@@ -386,7 +437,12 @@ def _cmd_queue(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.obs.events import configure_event_log, emit, get_event_log
     from repro.serve import (
+        AuditTrail,
         LoadedModel,
         ModelRegistry,
         PredictionService,
@@ -421,21 +477,47 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"serving registry {args.model_dir} at version {loaded.version} "
             f"(hot reload every {config.reload_interval_s:g}s)"
         )
-    service = PredictionService(loaded, config, registry=registry)
+    if args.event_log is not None:
+        configure_event_log(args.event_log)
+        print(f"event log: {args.event_log}")
+    audit = None
+    if args.audit_log is not None:
+        audit = AuditTrail(args.audit_log)
+        print(f"audit trail: {args.audit_log}")
+    service = PredictionService(loaded, config, registry=registry, audit=audit)
     server = start_server(service, config.host, config.port)
+    emit(
+        "serve.started",
+        host=config.host,
+        port=server.port,
+        model_version=loaded.version,
+        hot_reload=registry is not None,
+        audit=args.audit_log is not None,
+    )
     print(
         f"listening on http://{config.host}:{server.port} "
         f"(POST /predict, GET /healthz, GET /metrics) — Ctrl-C to stop"
     )
-    from time import sleep
-
+    # SIGTERM must run the same orderly shutdown as Ctrl-C: audit and
+    # event sinks are block-buffered, so dying without a flush would
+    # drop the tail of the trail.
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda _sig, _frm: stop.set())
     try:
-        while True:
-            sleep(3600.0)
+        while not stop.wait(0.5):
+            pass
+        print("terminated, shutting down")
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.shutdown_service()
+        if audit is not None:
+            audit.close()
+        emit(
+            "serve.stopped",
+            n_audit_records=0 if audit is None else audit.n_appended,
+        )
+        get_event_log().flush()
     return 0
 
 
@@ -460,7 +542,7 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 def _cmd_telemetry(args: argparse.Namespace) -> int:
     import json
 
-    from repro.obs.export import render_snapshot
+    from repro.obs.export import render_snapshot, to_chrome
 
     try:
         snap = json.loads(args.snapshot.read_text())
@@ -468,10 +550,102 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
         print(f"cannot read snapshot {args.snapshot}: {exc}", file=sys.stderr)
         return 1
     try:
-        print(render_snapshot(snap))
+        if args.format == "chrome":
+            print(to_chrome(snap))
+        else:
+            print(render_snapshot(snap))
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+    return 0
+
+
+def _load_actuals(path: Path) -> dict[str, float]:
+    """``request_id → actual minutes`` from a JSON object or JSONL file."""
+    import json
+
+    text = path.read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict):
+        return {str(k): float(v) for k, v in doc.items()}
+    actuals: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        rec = json.loads(line)
+        rid = rec.get("request_id")
+        minutes = rec.get("actual_minutes", rec.get("minutes"))
+        if rid is not None and minutes is not None:
+            actuals[str(rid)] = float(minutes)
+    return actuals
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.serve.audit import audit_stats, iter_audit_records, replay_audit
+
+    if not args.log.is_file():
+        print(f"no audit log at {args.log}", file=sys.stderr)
+        return 1
+    if args.audit_command == "tail":
+        for rec in list(iter_audit_records(args.log))[-args.n :]:
+            print(json.dumps(rec, sort_keys=True))
+        return 0
+    if args.audit_command == "stats":
+        print(json.dumps(audit_stats(iter_audit_records(args.log)), indent=2))
+        return 0
+    # replay
+    actuals = None
+    if args.actuals is not None:
+        try:
+            actuals = _load_actuals(args.actuals)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot read --actuals {args.actuals}: {exc}", file=sys.stderr)
+            return 1
+    report = replay_audit(
+        iter_audit_records(args.log),
+        actuals=actuals,
+        threshold=args.threshold,
+        window=args.window,
+        min_samples=args.min_samples,
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+        return 0
+
+    def _pct(v: float) -> str:
+        return "n/a" if math.isnan(v) else f"{v:.1f}%"
+
+    print(
+        f"audit replay: {report['n_records']} records, "
+        f"{report['n_joined']} joined, "
+        f"{report['n_scored_long']} scored long-wait"
+    )
+    acc = report["classifier_accuracy"]
+    print(
+        "classifier accuracy: "
+        + ("n/a" if math.isnan(acc) else f"{acc:.4f}")
+    )
+    print(
+        f"MAPE: {_pct(report['mape'])}   "
+        f"rolling (last {report['window']}): {_pct(report['rolling_mape'])}"
+    )
+    print(
+        f"drift alarms: {report['n_drift_alarms']} "
+        f"(threshold {report['threshold']:g}%, window {report['window']})"
+    )
+    for alarm in report["alarms"]:
+        print(
+            f"  alarm at record {alarm['at_record']} "
+            f"(request {alarm['request_id']}): "
+            f"rolling MAPE {alarm['rolling_mape']:.1f}%"
+        )
     return 0
 
 
@@ -482,6 +656,8 @@ def _dump_telemetry(fmt: str, out: Path | None) -> None:
         text = export.to_prometheus()
     elif fmt == "json":
         text = export.to_json()
+    elif fmt == "chrome":
+        text = export.to_chrome()
     else:
         text = export.render_report()
     if out is not None:
@@ -501,6 +677,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "publish": _cmd_publish,
     "telemetry": _cmd_telemetry,
+    "audit": _cmd_audit,
     "lint": run_lint,
 }
 

@@ -28,14 +28,108 @@ from repro.eval.metrics import (
     mean_absolute_percentage_error,
 )
 from repro.nn import Adam
-from repro.obs import metrics, tracing
+from repro.obs import events, metrics, tracing
 from repro.utils.logging import get_logger
 from repro.utils.rng import default_rng
 from repro.utils.validation import check_1d, check_2d, check_consistent_length
 
-__all__ = ["OnlineConfig", "OnlineTrout"]
+__all__ = ["DriftMonitor", "OnlineConfig", "OnlineTrout"]
 
 log = get_logger(__name__)
+
+
+class DriftMonitor:
+    """Rolling-window MAPE with a rising-edge drift alarm.
+
+    The drift machinery extracted from :class:`OnlineTrout` so two
+    consumers share it byte-for-byte: the live prequential stream
+    (``OnlineTrout.observe``) and ``trout audit replay``, which feeds a
+    recorded audit trail back through the same window once actual start
+    times are joined.
+
+    ``update`` ingests APE mass (sum of absolute percentage errors and
+    how many jobs it covers), trims the window to the most recent
+    ``window`` jobs, optionally publishes ``<prefix>_rolling_mape`` /
+    ``<prefix>_drift_alarms_total``, and reports ``True`` exactly when
+    the rolling MAPE *crosses* the threshold upward (level-triggered
+    alarms would fire on every batch of a bad stretch).
+    """
+
+    def __init__(
+        self,
+        threshold: float | None = 200.0,
+        window: int = 500,
+        min_samples: int = 50,
+        prefix: str = "online",
+        publish: bool = True,
+    ) -> None:
+        if threshold is not None and threshold <= 0:
+            raise ValueError("threshold must be positive (or None)")
+        if window < 1 or min_samples < 1:
+            raise ValueError("window and min_samples must be >= 1")
+        self.threshold = threshold
+        self.window = window
+        self.min_samples = min_samples
+        self.prefix = prefix
+        self.publish = publish
+        # Full instrument names, fixed at construction so the prefix is
+        # validated once and call sites stay allocation-free.
+        self._gauge_name = f"{prefix}_rolling_mape"
+        self._counter_name = f"{prefix}_drift_alarms_total"
+        self._roll: deque[tuple[float, int]] = deque()
+        self._roll_sum = 0.0
+        self._roll_n = 0
+        self._in_drift = False
+        self.n_alarms = 0
+
+    @property
+    def rolling_mape(self) -> float:
+        """MAPE over the last ``window`` scored jobs (NaN until warm)."""
+        if self._roll_n < self.min_samples:
+            return float("nan")
+        return self._roll_sum / self._roll_n
+
+    def update(self, ape_sum: float, n: int) -> bool:
+        """Ingest ``n`` scored jobs' APE mass; ``True`` on a fresh alarm."""
+        if n < 1:
+            return False
+        self._roll.append((float(ape_sum), int(n)))
+        self._roll_sum += float(ape_sum)
+        self._roll_n += int(n)
+        while len(self._roll) > 1 and self._roll_n - self._roll[0][1] >= self.window:
+            s, k = self._roll.popleft()
+            self._roll_sum -= s
+            self._roll_n -= k
+        rolling = self.rolling_mape
+        if np.isnan(rolling):
+            return False
+        if self.publish:
+            metrics.get_registry().gauge(
+                self._gauge_name,
+                help="regressor MAPE (%) over the recent drift window",
+            ).set(rolling)
+        if self.threshold is None:
+            return False
+        if rolling <= self.threshold:
+            self._in_drift = False
+            return False
+        if self._in_drift:
+            return False
+        self._in_drift = True
+        self.n_alarms += 1
+        if self.publish:
+            metrics.get_registry().counter(
+                self._counter_name,
+                help="rolling MAPE crossed the drift threshold",
+            ).inc()
+        events.emit(
+            f"{self.prefix}.drift_alarm",
+            level="warning",
+            rolling_mape=round(rolling, 2),
+            threshold=self.threshold,
+            window=self.window,
+        )
+        return True
 
 
 @dataclass
@@ -105,19 +199,21 @@ class OnlineTrout:
         self.n_refreshes = 0
         self.drift = _DriftStats()
         self._rng = default_rng(self.config.seed)
-        # Rolling drift window: (ape_sum, n_long) per observed batch.
-        self._roll: deque[tuple[float, int]] = deque()
-        self._roll_sum = 0.0
-        self._roll_n = 0
-        self._in_drift = False
-        self.n_drift_alarms = 0
+        self.monitor = DriftMonitor(
+            threshold=self.config.drift_mape_threshold,
+            window=self.config.drift_window,
+            min_samples=self.config.drift_min_samples,
+        )
 
     @property
     def rolling_mape(self) -> float:
         """MAPE over the last ``drift_window`` long-wait stream jobs."""
-        if self._roll_n < self.config.drift_min_samples:
-            return float("nan")
-        return self._roll_sum / self._roll_n
+        return self.monitor.rolling_mape
+
+    @property
+    def n_drift_alarms(self) -> int:
+        """Rising-edge drift alarms raised so far."""
+        return self.monitor.n_alarms
 
     # ------------------------------------------------------------------ #
     def observe(self, X: np.ndarray, minutes: np.ndarray) -> None:
@@ -148,20 +244,19 @@ class OnlineTrout:
             ape = 100.0 * np.abs(pred - minutes[long_mask]) / minutes[long_mask]
             self.drift.reg_ape_sum += float(ape.sum())
             self.drift.n_long += int(long_mask.sum())
-            self._roll.append((float(ape.sum()), int(long_mask.sum())))
-            self._roll_sum += float(ape.sum())
-            self._roll_n += int(long_mask.sum())
-            while (
-                len(self._roll) > 1
-                and self._roll_n - self._roll[0][1] >= self.config.drift_window
-            ):
-                s, k = self._roll.popleft()
-                self._roll_sum -= s
-                self._roll_n -= k
+            # The config is mutable between observations; keep the
+            # monitor's threshold in lockstep.
+            self.monitor.threshold = self.config.drift_mape_threshold
+            if self.monitor.update(float(ape.sum()), int(long_mask.sum())):
+                log.warning(
+                    "drift alarm: rolling MAPE %.1f%% > threshold %.1f%%",
+                    self.monitor.rolling_mape,
+                    self.config.drift_mape_threshold,
+                )
         self._publish_drift()
 
     def _publish_drift(self) -> None:
-        """Prequential gauges + rising-edge drift alarm."""
+        """Prequential gauges (the rolling window publishes its own)."""
         reg = metrics.get_registry()
         reg.gauge(
             "online_prequential_accuracy",
@@ -172,30 +267,6 @@ class OnlineTrout:
                 "online_prequential_mape",
                 help="regressor MAPE (%) on the incoming stream (pre-update)",
             ).set(self.drift.regressor_mape)
-        rolling = self.rolling_mape
-        threshold = self.config.drift_mape_threshold
-        if not np.isnan(rolling):
-            reg.gauge(
-                "online_rolling_mape",
-                help="regressor MAPE (%) over the recent drift window",
-            ).set(rolling)
-        if threshold is None or np.isnan(rolling):
-            return
-        if rolling > threshold:
-            if not self._in_drift:
-                self._in_drift = True
-                self.n_drift_alarms += 1
-                reg.counter(
-                    "online_drift_alarms_total",
-                    help="rolling MAPE crossed the drift threshold",
-                ).inc()
-                log.warning(
-                    "drift alarm: rolling MAPE %.1f%% > threshold %.1f%%",
-                    rolling,
-                    threshold,
-                )
-        else:
-            self._in_drift = False
 
     # ------------------------------------------------------------------ #
     def refresh(self) -> None:
@@ -236,11 +307,11 @@ class OnlineTrout:
         metrics.get_registry().counter(
             "online_refreshes_total", help="online fine-tuning refreshes"
         ).inc()
-        log.info(
-            "online refresh %d on %d buffered jobs (stream acc %.3f)",
-            self.n_refreshes,
-            self._buffered,
-            self.drift.classifier_accuracy,
+        events.emit(
+            "online.refresh",
+            n_refresh=self.n_refreshes,
+            buffered=self._buffered,
+            stream_accuracy=round(self.drift.classifier_accuracy, 4),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,108 @@
+"""Request-scoped trace context: ids and explicit cross-thread hand-off.
+
+The serving path crosses a thread boundary by design — the HTTP handler
+thread validates and enqueues, the :class:`~repro.serve.batcher.MicroBatcher`
+worker thread runs the model — so the thread-local span stack alone cannot
+connect "this batch" to "the requests that caused it".  A
+:class:`TraceContext` is the explicit hand-off: the handler captures the
+identity of its open span, attaches it to the batch ticket, and the worker
+opens its span *under* that context.  The two spans then share a
+``trace_id`` and are linked parent→child through ``span_id``/``parent_id``
+even though they live in different span trees.
+
+Id generation is dependency-free and deterministic **per process** (a
+process-unique prefix plus a monotonically increasing sequence number):
+no entropy pool, no RNG001 exemption needed, unique across the
+process-pool workers that ship spans back to the parent, and stable
+enough to grep a request through span forest, event log, and audit trail.
+
+Wall-clock reads live here (``repro.obs`` is the RNG002-sanctioned home
+for observability timestamps): the event log and the audit trail stamp
+records via :func:`wall_now` instead of calling ``time.time`` from
+library code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "TraceContext",
+    "clean_request_id",
+    "new_request_id",
+    "new_span_id",
+    "new_trace_id",
+    "wall_now",
+]
+
+#: External request ids (e.g. a client-sent ``X-Request-Id``) must match
+#: this or be replaced — keeps log lines grep-safe and un-injectable.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._:-]{1,64}\Z")  # \Z: '$' would admit 'id\n'
+
+#: One shared sequence for every id kind; ``itertools.count`` is
+#: effectively atomic in CPython, so no lock on the hot path.
+_SEQUENCE = itertools.count(1)
+
+_PID_PREFIX: str | None = None
+_PID: int | None = None
+
+
+def _prefix() -> str:
+    """Process-unique id prefix, recomputed after a ``fork``."""
+    global _PID_PREFIX, _PID
+    pid = os.getpid()
+    if pid != _PID:
+        _PID = pid
+        _PID_PREFIX = f"{pid:x}"
+    assert _PID_PREFIX is not None
+    return _PID_PREFIX
+
+
+def new_trace_id() -> str:
+    """A fresh trace id (``t<pid>-<seq>``), unique across pool workers."""
+    return f"t{_prefix()}-{next(_SEQUENCE):08x}"
+
+
+def new_span_id() -> str:
+    """A fresh span id (``s<pid>-<seq>``)."""
+    return f"s{_prefix()}-{next(_SEQUENCE):08x}"
+
+
+def new_request_id() -> str:
+    """A fresh request id (``r<pid>-<seq>``) for one served request."""
+    return f"r{_prefix()}-{next(_SEQUENCE):08x}"
+
+
+def clean_request_id(raw: object) -> str | None:
+    """A client-supplied request id, sanitised; ``None`` when unusable."""
+    if isinstance(raw, str) and _REQUEST_ID_RE.match(raw):
+        return raw
+    return None
+
+
+def wall_now() -> float:
+    """Wall-clock seconds since the epoch, for observability timestamps.
+
+    The RNG002 invariant bans wall-clock reads in library code so rerun
+    determinism cannot silently depend on "now"; observability records
+    are the sanctioned exception, and they all read the clock here.
+    """
+    return time.time()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The portable identity of an open span, for explicit hand-off.
+
+    ``trace_id`` groups every span of one logical request; ``span_id`` is
+    the span to parent under; ``request_id`` rides along so whoever
+    continues the trace can label metrics/events without re-plumbing it.
+    """
+
+    trace_id: str
+    span_id: str
+    request_id: str | None = None

@@ -1,0 +1,301 @@
+"""Structured, leveled JSON-lines event log (dependency-free).
+
+Where :mod:`repro.obs.metrics` answers "how many" and
+:mod:`repro.obs.tracing` answers "where did the time go", the event log
+answers "what happened, to which request": each record is one flat JSON
+object with a wall-clock ``ts``, a ``level``, a dotted snake_case
+``event`` name, and arbitrary scalar fields — ``request_id`` /
+``trace_id`` / ``model_version`` on the serving path — so one request is
+greppable across span forest, event stream, and audit trail.
+
+Retention is two-tier, chosen for hot-path cost:
+
+- a **bounded in-memory ring** receives every record (a dict append
+  under a lock — no serialisation), so ``get_event_log().tail()`` and
+  tests always see recent history;
+- an optional **file sink** (size-rotated JSONL) receives records at or
+  above its own level — lifecycle events (reloads, publishes, drift
+  alarms, errors) by default, per-request ``debug`` chatter only when
+  explicitly asked for.  Each record is written as one ``write()`` call
+  of a complete line under the log's lock, so concurrent emitters can
+  never tear or interleave lines.
+
+Records are schema-checked at the emit site: a malformed event name or a
+field colliding with the reserved keys raises :class:`EventSchemaError`
+immediately (a programmer error worth failing loudly on), while
+non-JSON-able field *values* degrade to ``repr`` rather than dropping
+the record.  ``REPRO_TELEMETRY=0`` (or :func:`repro.obs.metrics.set_enabled`)
+turns :func:`emit` into an immediate return.
+
+Records forwarded to the stdlib ``repro.obs.events`` logger keep the
+CLI's ``-v`` console behaviour for the call sites that migrated here
+from ad-hoc ``utils.logging`` calls.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.context import wall_now
+from repro.obs.metrics import get_registry
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "EventLog",
+    "EventSchemaError",
+    "FileSink",
+    "LEVELS",
+    "configure_event_log",
+    "emit",
+    "get_event_log",
+    "iter_jsonl",
+    "reset_event_log",
+]
+
+log = get_logger(__name__)
+
+#: Event severity → stdlib logging level.  Order matters for filtering.
+LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$")
+_RESERVED = frozenset({"ts", "level", "event"})
+
+
+class EventSchemaError(ValueError):
+    """An event record violates the schema (name grammar, reserved keys)."""
+
+
+def _json_default(value: object) -> str:
+    return repr(value)
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, separators=(",", ":"), default=_json_default)
+
+
+def iter_jsonl(path: str | Path, include_rotated: bool = True) -> Iterator[dict]:
+    """Parsed records from a JSONL file, oldest first.
+
+    With ``include_rotated``, the numbered rotation siblings
+    (``path.N`` … ``path.1``) are read before the live file, so callers
+    see one chronological stream across rotation boundaries.
+    """
+    path = Path(path)
+    candidates: list[Path] = []
+    if include_rotated:
+        rotated = []
+        for sibling in path.parent.glob(f"{path.name}.*"):
+            suffix = sibling.name[len(path.name) + 1 :]
+            if suffix.isdigit():
+                rotated.append((int(suffix), sibling))
+        candidates.extend(p for _, p in sorted(rotated, reverse=True))
+    if path.is_file():
+        candidates.append(path)
+    for file in candidates:
+        with open(file, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+
+class FileSink:
+    """Append-only JSONL file with size-based rotation.
+
+    When the live file would exceed ``max_bytes``, it is renamed to
+    ``<path>.1`` (existing backups shift up; the one past ``backups``
+    falls off) and a fresh file is opened.  Rotation happens *between*
+    records under the owning log's lock, so a record is always wholly in
+    exactly one generation.  Size is tracked in memory — no ``stat`` per
+    write.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 8 << 20,
+        backups: int = 2,
+    ) -> None:
+        if max_bytes < 1 or backups < 0:
+            raise ValueError("max_bytes must be >= 1 and backups >= 0")
+        self.path = Path(path)
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = self._fh.tell()
+
+    def write(self, line: str) -> None:
+        """Append one complete line (caller holds the log lock)."""
+        data = line + "\n"
+        if self._size and self._size + len(data) > self.max_bytes:
+            self._rotate()
+        self._fh.write(data)
+        self._size += len(data)
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        if self.backups == 0:
+            self.path.unlink(missing_ok=True)
+        else:
+            for i in range(self.backups, 1, -1):
+                older = self.path.with_name(f"{self.path.name}.{i - 1}")
+                if older.exists():
+                    older.replace(self.path.with_name(f"{self.path.name}.{i}"))
+            self.path.replace(self.path.with_name(f"{self.path.name}.1"))
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def flush(self) -> None:
+        if not self._fh.closed:  # shutdown paths may flush after close
+            self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class EventLog:
+    """Bounded ring + optional rotating file sink, one lock, leveled.
+
+    ``enabled=None`` (the default) follows the process-wide telemetry
+    switch dynamically — ``REPRO_TELEMETRY=0`` and ``set_enabled`` null
+    this log along with every metric.  Tests pass ``enabled=True`` to be
+    independent of the environment.
+    """
+
+    def __init__(
+        self,
+        ring_size: int = 1024,
+        min_level: str = "debug",
+        sink_level: str = "info",
+        enabled: bool | None = None,
+        forward: bool = True,
+    ) -> None:
+        if min_level not in LEVELS or sink_level not in LEVELS:
+            raise ValueError(f"levels must be one of {sorted(LEVELS)}")
+        self._ring: deque[dict] = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._sink: FileSink | None = None
+        self.min_level = min_level
+        self.sink_level = sink_level
+        self._enabled = enabled
+        self.forward = forward
+        self.dropped = 0  # records whose sink write failed
+
+    @property
+    def enabled(self) -> bool:
+        if self._enabled is None:
+            return get_registry().enabled
+        return self._enabled
+
+    # ------------------------------------------------------------------ #
+    def configure_file(
+        self,
+        path: str | Path,
+        max_bytes: int = 8 << 20,
+        backups: int = 2,
+        sink_level: str | None = None,
+    ) -> None:
+        """Attach (or replace) the rotating file sink."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+            self._sink = FileSink(path, max_bytes=max_bytes, backups=backups)
+            if sink_level is not None:
+                if sink_level not in LEVELS:
+                    raise ValueError(f"levels must be one of {sorted(LEVELS)}")
+                self.sink_level = sink_level
+
+    def emit(self, event: str, level: str = "info", **fields: object) -> dict | None:
+        """Record one event; returns the record, or ``None`` when nulled."""
+        if not self.enabled:
+            return None
+        severity = LEVELS.get(level)
+        if severity is None:
+            raise EventSchemaError(f"unknown level {level!r}")
+        if severity < LEVELS[self.min_level]:
+            return None
+        if not _NAME_RE.match(event):
+            raise EventSchemaError(
+                f"event name {event!r} must be dotted snake_case"
+            )
+        if _RESERVED & fields.keys():
+            raise EventSchemaError(
+                f"fields {sorted(_RESERVED & fields.keys())} are reserved"
+            )
+        record: dict = {"ts": wall_now(), "level": level, "event": event}
+        record.update(fields)
+        with self._lock:
+            self._ring.append(record)
+            if self._sink is not None and severity >= LEVELS[self.sink_level]:
+                try:
+                    self._sink.write(_dumps(record))
+                except (OSError, ValueError) as exc:
+                    # ValueError: write on a file closed under us.
+                    self.dropped += 1
+                    log.warning("event sink write failed: %s", exc)
+        if self.forward and log.isEnabledFor(severity):
+            log.log(severity, "%s", _dumps(record))
+        return record
+
+    # ------------------------------------------------------------------ #
+    def tail(self, n: int | None = None) -> list[dict]:
+        """The most recent ``n`` ring records (all of them by default)."""
+        with self._lock:
+            records = list(self._ring)
+        return records if n is None else records[-n:]
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+
+_EVENT_LOG = EventLog()
+
+
+def get_event_log() -> EventLog:
+    """The process-wide event log all library emitters write to."""
+    return _EVENT_LOG
+
+
+def emit(event: str, level: str = "info", **fields: object) -> dict | None:
+    """Emit on the global event log (the usual entry point)."""
+    return _EVENT_LOG.emit(event, level=level, **fields)
+
+
+def configure_event_log(
+    path: str | Path,
+    max_bytes: int = 8 << 20,
+    backups: int = 2,
+    sink_level: str | None = None,
+) -> EventLog:
+    """Attach a rotating file sink to the global event log."""
+    _EVENT_LOG.configure_file(
+        path, max_bytes=max_bytes, backups=backups, sink_level=sink_level
+    )
+    return _EVENT_LOG
+
+
+def reset_event_log() -> None:
+    """Close the sink and drop ring history (tests use this)."""
+    _EVENT_LOG.close()
+    _EVENT_LOG.clear()
+    _EVENT_LOG.dropped = 0

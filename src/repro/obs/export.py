@@ -10,7 +10,10 @@ formats it for a different consumer:
   reload and pretty-print later;
 - :func:`render_report` — a terminal span tree plus metric tables,
   extending :func:`repro.utils.text.format_timing_report` to the whole
-  instrumented pipeline.
+  instrumented pipeline;
+- :func:`to_chrome` — the Chrome trace-event JSON format, so the
+  per-request span forest from the serving path opens directly in
+  ``chrome://tracing`` / Perfetto with one lane per thread.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.utils.text import format_table, format_timing_report
 
 __all__ = [
     "snapshot",
+    "to_chrome",
     "to_json",
     "to_prometheus",
     "format_span_tree",
@@ -31,7 +35,11 @@ __all__ = [
     "render_snapshot",
 ]
 
-SNAPSHOT_VERSION = 1
+#: Version 2 (this PR) adds span identity (``trace_id``/``span_id``/
+#: ``parent_id``) and scheduling info (``start``/``tid``) to every span
+#: dict.  Version-1 snapshots are still readable: the extra keys default.
+SNAPSHOT_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 
 # ---------------------------------------------------------------------- #
@@ -199,8 +207,59 @@ def render_report(snap: dict | None = None) -> str:
 def render_snapshot(snap: dict) -> str:
     """``trout telemetry``'s view of a previously saved JSON snapshot."""
     version = int(snap.get("version", 0))
-    if version != SNAPSHOT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise ValueError(
-            f"unsupported snapshot version {version} (expected {SNAPSHOT_VERSION})"
+            f"unsupported snapshot version {version} "
+            f"(readable: {sorted(_READABLE_VERSIONS)})"
         )
     return render_report(snap)
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event format
+# ---------------------------------------------------------------------- #
+def to_chrome(snap: dict | None = None, indent: int | None = None) -> str:
+    """Render a snapshot's spans as Chrome trace-event JSON.
+
+    Every span becomes a complete (``ph: "X"``) event on its opening
+    thread's lane; timestamps are the process ``perf_counter`` clock
+    rebased to the earliest span and scaled to microseconds.  Trace and
+    span ids ride in ``args`` so Perfetto's detail pane shows how the
+    handler span and the batch span of one request connect across lanes.
+    Version-1 snapshots (no ``start``) render with all spans at t=0 —
+    durations still display.
+    """
+    if snap is None:
+        snap = snapshot()
+    roots = [Span.from_dict(d) for d in snap.get("spans", [])]
+
+    def walk(rec: Span):
+        yield rec
+        for child in rec.children:
+            yield from walk(child)
+
+    spans = [s for r in roots for s in walk(r)]
+    starts = [s.start for s in spans if s.start > 0.0]
+    base = min(starts) if starts else 0.0
+    events = []
+    for s in spans:
+        args: dict[str, object] = {
+            "trace_id": s.trace_id,
+            "span_id": s.span_id,
+        }
+        if s.parent_id:
+            args["parent_id"] = s.parent_id
+        args.update(s.meta)
+        events.append(
+            {
+                "name": s.name,
+                "ph": "X",
+                "ts": (s.start - base) * 1e6 if s.start > 0.0 else 0.0,
+                "dur": s.elapsed * 1e6,
+                "pid": 1,
+                "tid": s.tid or 1,
+                "args": args,
+            }
+        )
+    doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+    return json.dumps(doc, indent=indent, default=str)

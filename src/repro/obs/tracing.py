@@ -41,12 +41,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
 from repro.obs.metrics import telemetry_enabled
 
 __all__ = [
     "Span",
     "Tracer",
     "attach",
+    "current_context",
     "current_span",
     "get_tracer",
     "reset",
@@ -57,7 +59,14 @@ __all__ = [
 
 @dataclass
 class Span:
-    """One timed region; a node of the trace tree.  Picklable."""
+    """One timed region; a node of the trace tree.  Picklable.
+
+    Every span carries a stable ``(trace_id, span_id)`` pair; spans of
+    one logical request share the ``trace_id`` even when they live in
+    different threads' trees (the serve path hands the context across
+    the batcher boundary explicitly), and ``parent_id`` records the
+    causal parent whether or not it is the structural one.
+    """
 
     name: str
     elapsed: float = 0.0  # wall seconds
@@ -65,6 +74,23 @@ class Span:
     count: int = 1  # >1 after renderer-side merging of same-name siblings
     meta: dict[str, object] = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
+    trace_id: str = ""
+    span_id: str = ""
+    parent_id: str = ""
+    start: float = 0.0  # perf_counter seconds at open (one process clock)
+    tid: int = 0  # opening thread's ident (chrome export lanes)
+
+    def __post_init__(self) -> None:
+        if not self.span_id:
+            self.span_id = new_span_id()
+        if not self.trace_id:
+            self.trace_id = new_trace_id()
+
+    def context(self, request_id: str | None = None) -> TraceContext:
+        """This span's identity, packaged for explicit hand-off."""
+        return TraceContext(
+            trace_id=self.trace_id, span_id=self.span_id, request_id=request_id
+        )
 
     def to_dict(self) -> dict:
         """JSON-able form (inverse of :meth:`from_dict`)."""
@@ -75,10 +101,18 @@ class Span:
             "count": self.count,
             "meta": dict(self.meta),
             "children": [c.to_dict() for c in self.children],
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "tid": self.tid,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "Span":
+        """Rebuild from :meth:`to_dict` output.  Version-1 snapshots
+        (PR 3, before span ids existed) load fine: missing ids are
+        regenerated, missing timestamps default to zero."""
         return cls(
             name=str(d["name"]),
             elapsed=float(d.get("elapsed", 0.0)),
@@ -86,6 +120,11 @@ class Span:
             count=int(d.get("count", 1)),
             meta=dict(d.get("meta", {})),
             children=[cls.from_dict(c) for c in d.get("children", [])],
+            trace_id=str(d.get("trace_id", "")),
+            span_id=str(d.get("span_id", "")),
+            parent_id=str(d.get("parent_id", "")),
+            start=float(d.get("start", 0.0)),
+            tid=int(d.get("tid", 0)),
         )
 
 
@@ -115,13 +154,44 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_context(self, request_id: str | None = None) -> TraceContext | None:
+        """The innermost open span's identity, for cross-thread hand-off."""
+        cur = self.current()
+        return None if cur is None else cur.context(request_id)
+
     @contextmanager
-    def span(self, name: str, **meta: object) -> Iterator[Span]:
-        rec = Span(name, meta=dict(meta))
+    def span(
+        self,
+        name: str,
+        context: TraceContext | None = None,
+        **meta: object,
+    ) -> Iterator[Span]:
+        """Open a span.  ``context`` continues a trace started elsewhere
+        (another thread, another process): the new span adopts its
+        ``trace_id`` and records its ``span_id`` as parent, taking
+        precedence over this thread's stack."""
         stack = self._stack()
+        if context is not None:
+            rec = Span(
+                name,
+                meta=dict(meta),
+                trace_id=context.trace_id,
+                parent_id=context.span_id,
+            )
+        elif stack:
+            parent = stack[-1]
+            rec = Span(
+                name,
+                meta=dict(meta),
+                trace_id=parent.trace_id,
+                parent_id=parent.span_id,
+            )
+        else:
+            rec = Span(name, meta=dict(meta))
+        rec.tid = threading.get_ident()
         stack.append(rec)
         b0 = sys.getallocatedblocks()
-        t0 = time.perf_counter()
+        rec.start = t0 = time.perf_counter()
         try:
             yield rec
         finally:
@@ -135,9 +205,17 @@ class Tracer:
                     self.roots.append(rec)
 
     def attach(self, rec: Span) -> None:
-        """Graft an externally built record (e.g. from a pool worker)."""
+        """Graft an externally built record (e.g. from a pool worker).
+
+        The grafted subtree is re-homed into the current trace: its
+        ``trace_id`` (assigned in a worker process that knew nothing of
+        the parent) is rewritten to the enclosing span's so the tree
+        stays one trace end to end.
+        """
         cur = self.current()
         if cur is not None:
+            rec.parent_id = cur.span_id
+            _rehome(rec, cur.trace_id)
             cur.children.append(rec)
         elif self.retain:
             with self._roots_lock:
@@ -156,6 +234,13 @@ class Tracer:
             self.roots.clear()
 
 
+def _rehome(rec: Span, trace_id: str) -> None:
+    """Rewrite a grafted subtree's trace_id to the adopting trace's."""
+    rec.trace_id = trace_id
+    for child in rec.children:
+        _rehome(child, trace_id)
+
+
 _TRACER = Tracer()
 
 
@@ -164,13 +249,18 @@ def get_tracer() -> Tracer:
     return _TRACER
 
 
-def span(name: str, **meta: object):
+def span(name: str, context: TraceContext | None = None, **meta: object):
     """Open a span on the global tracer (the usual entry point)."""
-    return _TRACER.span(name, **meta)
+    return _TRACER.span(name, context=context, **meta)
 
 
 def current_span() -> Span | None:
     return _TRACER.current()
+
+
+def current_context(request_id: str | None = None) -> TraceContext | None:
+    """The global tracer's innermost open-span context on this thread."""
+    return _TRACER.current_context(request_id)
 
 
 def attach(rec: Span) -> None:

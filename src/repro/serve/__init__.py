@@ -10,9 +10,17 @@ The pieces, bottom-up:
 - :mod:`repro.serve.service` — request validation, admission control,
   and the hot-reload watcher tying registry and batcher together;
 - :mod:`repro.serve.http` — the stdlib threaded HTTP front end
-  (``/predict``, ``/healthz``, ``/metrics``).
+  (``/predict``, ``/healthz``, ``/metrics``);
+- :mod:`repro.serve.audit` — the per-prediction audit trail (rotating
+  JSONL) and its offline ``tail``/``stats``/``replay`` read side.
 """
 
+from repro.serve.audit import (
+    AuditTrail,
+    audit_stats,
+    iter_audit_records,
+    replay_audit,
+)
 from repro.serve.batcher import BatchTicket, MicroBatcher, QueueFullError
 from repro.serve.config import ServeConfig
 from repro.serve.registry import (
@@ -25,6 +33,7 @@ from repro.serve.service import PredictionService, ServeResponse
 from repro.serve.http import TroutHTTPServer, start_server
 
 __all__ = [
+    "AuditTrail",
     "BatchTicket",
     "LoadedModel",
     "MicroBatcher",
@@ -35,6 +44,9 @@ __all__ = [
     "ServeConfig",
     "ServeResponse",
     "TroutHTTPServer",
+    "audit_stats",
+    "iter_audit_records",
     "publish_model",
+    "replay_audit",
     "start_server",
 ]

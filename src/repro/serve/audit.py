@@ -1,0 +1,265 @@
+"""Replayable prediction audit trail for the serving path.
+
+Every successful ``/predict`` appends one compact JSONL record — enough
+to answer "what did we predict, with which model, how fast" for any past
+request, and to *re-score* the served model once ground truth arrives:
+``replay_audit`` joins actual start times onto the trail and feeds the
+errors through the same :class:`~repro.core.online.DriftMonitor`
+window the live prequential stream uses, so an offline replay raises
+exactly the alarms the online path would have.
+
+Record layout (one flat JSON object per line)::
+
+    ts                 wall-clock seconds (repro.obs.context.wall_now)
+    request_id         the id returned to the client (X-Request-Id)
+    trace_id           joins the record to the span forest / event log
+    features_hash      sha256(row bytes)[:16] — dedup/join key, not PII
+    model_version      registry version that answered
+    model_fingerprint  artifact fingerprint prefix (provenance)
+    p_long             classifier probability
+    long_wait          routed to the regressor?
+    minutes            predicted queue minutes (null for short waits)
+    cutoff_min         the hierarchy's classification cutoff
+    partition          requested partition (null if unspecified)
+    queue_wait_s       time in the micro-batcher deque
+    compute_s          model-call share of the batch
+    total_s            submit → resolve wall time
+    batch_size         how many requests shared the model call
+
+Hot-path budget: the line is assembled with one f-string (ids and hashes
+are grep-safe by construction — only ``partition`` can need JSON string
+escaping), written block-buffered under a lock, and flushed on
+``flush``/``close`` (the CLI hooks SIGTERM so a terminated server loses
+nothing).  ``REPRO_TELEMETRY=0`` nulls :meth:`AuditTrail.append` like
+every other instrument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.core.online import DriftMonitor
+from repro.obs.context import wall_now
+from repro.obs.events import FileSink, iter_jsonl
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "AuditTrail",
+    "audit_stats",
+    "features_hash",
+    "iter_audit_records",
+    "replay_audit",
+]
+
+AUDIT_VERSION = 1
+
+
+def features_hash(row: np.ndarray) -> str:
+    """Stable 16-hex digest of one feature row (dedup/join key)."""
+    return hashlib.sha256(np.ascontiguousarray(row).tobytes()).hexdigest()[:16]
+
+
+def _json_str(value: str | None) -> str:
+    """``null`` or a JSON string — only ``partition`` needs real escaping."""
+    return "null" if value is None else json.dumps(value)
+
+
+class AuditTrail:
+    """Append-only, size-rotated JSONL log of served predictions.
+
+    ``enabled=None`` (the default) follows the process-wide telemetry
+    switch; tests pass ``enabled=True``.  Appends are thread-safe; writes
+    are block-buffered for hot-path cost and made durable by ``flush``
+    (metrics scrape points, shutdown) and ``close``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        max_bytes: int = 32 << 20,
+        backups: int = 3,
+        enabled: bool | None = None,
+    ) -> None:
+        self.path = Path(path)
+        self._sink = FileSink(self.path, max_bytes=max_bytes, backups=backups)
+        self._lock = threading.Lock()
+        self._enabled = enabled
+        self._records_total = get_registry().counter(
+            "serve_audit_records_total", help="prediction audit records written"
+        )
+        self.n_appended = 0
+
+    @property
+    def enabled(self) -> bool:
+        if self._enabled is None:
+            return get_registry().enabled
+        return self._enabled
+
+    def append(
+        self,
+        *,
+        request_id: str,
+        trace_id: str,
+        row: np.ndarray,
+        model_version: int,
+        model_fingerprint: str,
+        p_long: float,
+        long_wait: bool,
+        minutes: float | None,
+        cutoff_min: float,
+        partition: str | None,
+        queue_wait_s: float,
+        compute_s: float,
+        total_s: float,
+        batch_size: int,
+    ) -> None:
+        """Record one served prediction (no-op when telemetry is off)."""
+        if not self.enabled:
+            return
+        minutes_s = "null" if minutes is None else f"{float(minutes):.4f}"
+        line = (
+            f'{{"ts":{wall_now():.6f},"request_id":"{request_id}",'
+            f'"trace_id":"{trace_id}","features_hash":"{features_hash(row)}",'
+            f'"model_version":{int(model_version)},'
+            f'"model_fingerprint":"{model_fingerprint[:16]}",'
+            f'"p_long":{float(p_long):.6f},'
+            f'"long_wait":{"true" if long_wait else "false"},'
+            f'"minutes":{minutes_s},"cutoff_min":{float(cutoff_min):g},'
+            f'"partition":{_json_str(partition)},'
+            f'"queue_wait_s":{queue_wait_s:.6f},"compute_s":{compute_s:.6f},'
+            f'"total_s":{total_s:.6f},"batch_size":{int(batch_size)}}}'
+        )
+        with self._lock:
+            self._sink.write(line)
+            self.n_appended += 1
+        self._records_total.inc()
+
+    def flush(self) -> None:
+        with self._lock:
+            self._sink.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            self._sink.close()
+
+
+# ---------------------------------------------------------------------- #
+# read side: tail / stats / replay
+# ---------------------------------------------------------------------- #
+def iter_audit_records(
+    path: str | Path, include_rotated: bool = True
+) -> Iterator[dict]:
+    """Audit records oldest-first, rotation generations included."""
+    return iter_jsonl(path, include_rotated=include_rotated)
+
+
+def audit_stats(records: Iterable[dict]) -> dict:
+    """Aggregate view of a trail: volume, routing mix, latency, versions."""
+    n = n_long = 0
+    p_long_sum = 0.0
+    total_s_sum = queue_s_sum = compute_s_sum = 0.0
+    total_s_max = 0.0
+    batch_sum = 0
+    versions: dict[int, int] = {}
+    ts_min = ts_max = None
+    for rec in records:
+        n += 1
+        n_long += bool(rec.get("long_wait"))
+        p_long_sum += float(rec.get("p_long", 0.0))
+        t = float(rec.get("total_s", 0.0))
+        total_s_sum += t
+        total_s_max = max(total_s_max, t)
+        queue_s_sum += float(rec.get("queue_wait_s", 0.0))
+        compute_s_sum += float(rec.get("compute_s", 0.0))
+        batch_sum += int(rec.get("batch_size", 1))
+        v = int(rec.get("model_version", 0))
+        versions[v] = versions.get(v, 0) + 1
+        ts = rec.get("ts")
+        if isinstance(ts, (int, float)):
+            ts_min = ts if ts_min is None else min(ts_min, ts)
+            ts_max = ts if ts_max is None else max(ts_max, ts)
+    return {
+        "n_records": n,
+        "n_long_wait": n_long,
+        "long_wait_share": n_long / n if n else 0.0,
+        "mean_p_long": p_long_sum / n if n else 0.0,
+        "mean_total_s": total_s_sum / n if n else 0.0,
+        "max_total_s": total_s_max,
+        "mean_queue_wait_s": queue_s_sum / n if n else 0.0,
+        "mean_compute_s": compute_s_sum / n if n else 0.0,
+        "mean_batch_size": batch_sum / n if n else 0.0,
+        "versions": {str(v): c for v, c in sorted(versions.items())},
+        "span_seconds": (ts_max - ts_min) if n and ts_min is not None else 0.0,
+    }
+
+
+def replay_audit(
+    records: Iterable[dict],
+    actuals: Mapping[str, float] | None = None,
+    threshold: float | None = 200.0,
+    window: int = 500,
+    min_samples: int = 50,
+) -> dict:
+    """Score a recorded trail against actual queue minutes.
+
+    ``actuals`` maps ``request_id`` → actual minutes; records that
+    already carry an ``actual_minutes`` field (a pre-joined trail) need
+    no mapping.  Scoring mirrors the live prequential path: every joined
+    record scores the classifier (was the wait really past the cutoff?),
+    and truly-long records with a regressor output feed APE into a
+    :class:`DriftMonitor` — the report's alarms are the ones the online
+    monitor would have raised, in order.
+    """
+    monitor = DriftMonitor(
+        threshold=threshold,
+        window=window,
+        min_samples=min_samples,
+        prefix="audit",
+        publish=False,
+    )
+    n = joined = clf_correct = n_scored = 0
+    ape_sum = 0.0
+    alarms: list[dict] = []
+    for rec in records:
+        n += 1
+        actual = rec.get("actual_minutes")
+        if actual is None and actuals is not None:
+            actual = actuals.get(rec.get("request_id"))
+        if actual is None:
+            continue
+        actual = float(actual)
+        joined += 1
+        truth_long = actual > float(rec.get("cutoff_min", 0.0))
+        clf_correct += truth_long == bool(rec.get("long_wait"))
+        minutes = rec.get("minutes")
+        if truth_long and minutes is not None and actual > 0:
+            ape = 100.0 * abs(float(minutes) - actual) / actual
+            n_scored += 1
+            ape_sum += ape
+            if monitor.update(ape, 1):
+                alarms.append(
+                    {
+                        "at_record": n,
+                        "request_id": rec.get("request_id"),
+                        "rolling_mape": round(monitor.rolling_mape, 2),
+                    }
+                )
+    rolling = monitor.rolling_mape
+    return {
+        "n_records": n,
+        "n_joined": joined,
+        "n_scored_long": n_scored,
+        "classifier_accuracy": clf_correct / joined if joined else float("nan"),
+        "mape": ape_sum / n_scored if n_scored else float("nan"),
+        "rolling_mape": rolling,
+        "n_drift_alarms": monitor.n_alarms,
+        "alarms": alarms,
+        "threshold": threshold,
+        "window": window,
+    }

@@ -29,6 +29,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs import tracing
+from repro.obs.context import TraceContext
+from repro.obs.events import emit
 from repro.obs.metrics import get_registry
 from repro.utils.logging import get_logger
 
@@ -42,15 +45,37 @@ class QueueFullError(RuntimeError):
 
 
 class BatchTicket:
-    """One pending request: a feature row in, one result or error out."""
+    """One pending request: a feature row in, one result or error out.
 
-    __slots__ = ("row", "result", "error", "_event")
+    Besides the row and the outcome, a ticket carries the caller's
+    :class:`TraceContext` across the thread boundary (so the worker's
+    batch span can continue the request's trace) and reports back the
+    latency split the worker measured: how long the ticket queued, how
+    long its batch's model call took, and how many requests shared it.
+    """
 
-    def __init__(self, row: np.ndarray) -> None:
+    __slots__ = (
+        "row",
+        "result",
+        "error",
+        "_event",
+        "context",
+        "enqueued_at",
+        "queue_wait_s",
+        "compute_s",
+        "batch_size",
+    )
+
+    def __init__(self, row: np.ndarray, context: TraceContext | None = None) -> None:
         self.row = row
         self.result: object | None = None
         self.error: BaseException | None = None
         self._event = threading.Event()
+        self.context = context
+        self.enqueued_at = 0.0
+        self.queue_wait_s = 0.0
+        self.compute_s = 0.0
+        self.batch_size = 0
 
     def resolve(self, result: object) -> None:
         self.result = result
@@ -126,21 +151,33 @@ class MicroBatcher:
             help="time the first request of each batch waited for company",
             buckets=(0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1),
         )
+        self._queue_wait = reg.histogram(
+            "serve_queue_wait_seconds",
+            help="time a ticket sat in the deque before its batch opened",
+            buckets=(0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25),
+        )
         self._thread = threading.Thread(
             target=self._run, name="trout-serve-batcher", daemon=True
         )
         self._thread.start()
 
     # ------------------------------------------------------------------ #
-    def submit(self, row: np.ndarray) -> BatchTicket:
+    def submit(
+        self, row: np.ndarray, context: TraceContext | None = None
+    ) -> BatchTicket:
         """Enqueue one feature row; raises :class:`QueueFullError` when the
-        pending queue is at ``queue_depth`` and on a closed batcher."""
+        pending queue is at ``queue_depth`` and on a closed batcher.
+
+        ``context`` (the caller's open span + request id) rides the
+        ticket so the worker's batch span continues the request's trace.
+        """
         row = np.ascontiguousarray(row, dtype=np.float64)
         if row.shape != (self.n_features,):
             raise ValueError(
                 f"expected a ({self.n_features},) feature row, got {row.shape}"
             )
-        ticket = BatchTicket(row)
+        ticket = BatchTicket(row, context=context)
+        ticket.enqueued_at = perf_counter()
         with self._cond:
             if self._closed:
                 raise QueueFullError("batcher is shut down")
@@ -194,25 +231,55 @@ class MicroBatcher:
             batch = self._collect()
             if batch is None:
                 return
-            self._batch_wait.observe(perf_counter() - t0)
-            rows = self._workspace[: len(batch)]
+            opened = perf_counter()
+            self._batch_wait.observe(opened - t0)
+            n = len(batch)
+            rows = self._workspace[:n]
+            context = None
             for i, ticket in enumerate(batch):
                 rows[i] = ticket.row
+                ticket.queue_wait_s = opened - ticket.enqueued_at
+                ticket.batch_size = n
+                self._queue_wait.observe(ticket.queue_wait_s)
+                if context is None:
+                    context = ticket.context
             predict = self.predict_fn  # snapshot: hot reload swaps this
+            # The batch span continues the oldest member's trace; the
+            # other members connect through their request spans' meta
+            # and the request_ids recorded here.
+            request_ids = [
+                t.context.request_id
+                for t in batch
+                if t.context is not None and t.context.request_id
+            ]
             try:
-                results = predict(rows)
-                if len(results) != len(batch):
+                with tracing.span(
+                    "serve.batch",
+                    context=context,
+                    batch_size=n,
+                    request_ids=request_ids,
+                ) as batch_span:
+                    results = predict(rows)
+                if len(results) != n:
                     raise RuntimeError(
                         f"predict_fn returned {len(results)} results "
-                        f"for {len(batch)} rows"
+                        f"for {n} rows"
                     )
             except Exception as exc:
                 self._batch_errors_total.inc()
-                log.warning("batch of %d failed: %s", len(batch), exc)
+                emit(
+                    "serve.batch_failed",
+                    level="error",
+                    batch_size=n,
+                    request_ids=request_ids,
+                    error=str(exc),
+                )
                 for ticket in batch:
                     ticket.fail(exc)
                 continue
+            compute_s = batch_span.elapsed
             self._batches_total.inc()
-            self._batched_requests_total.inc(float(len(batch)))
+            self._batched_requests_total.inc(float(n))
             for ticket, result in zip(batch, results):
+                ticket.compute_s = compute_s
                 ticket.resolve(result)

@@ -29,11 +29,9 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.hierarchical import TroutModel
-from repro.utils.logging import get_logger
+from repro.obs.events import emit
 
 __all__ = ["LoadedModel", "ModelRegistry", "RegistryError", "publish_model"]
-
-log = get_logger(__name__)
 
 MANIFEST_NAME = "MANIFEST.json"
 _VERSION_WIDTH = 4
@@ -117,7 +115,12 @@ def publish_model(
     except BaseException:
         shutil.rmtree(staging, ignore_errors=True)
         raise
-    log.info("published model version %d to %s", version, final)
+    emit(
+        "registry.published",
+        version=version,
+        fingerprint=manifest["fingerprint"][:16],
+        path=str(final),
+    )
     return version
 
 

@@ -28,11 +28,16 @@ import json
 import math
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.hierarchical import TroutModel
+from repro.obs import tracing
+from repro.obs.context import new_request_id
+from repro.obs.events import emit
 from repro.obs.metrics import get_registry
+from repro.serve.audit import AuditTrail
 from repro.serve.batcher import MicroBatcher, QueueFullError
 from repro.serve.config import ServeConfig
 from repro.serve.registry import LoadedModel, ModelRegistry, RegistryError
@@ -77,9 +82,11 @@ class PredictionService:
         loaded: LoadedModel,
         config: ServeConfig | None = None,
         registry: ModelRegistry | None = None,
+        audit: AuditTrail | None = None,
     ) -> None:
         self.config = config or ServeConfig()
         self.registry = registry
+        self.audit = audit
         self._current = loaded
         self._reload_lock = threading.Lock()
         reg = get_registry()
@@ -120,9 +127,10 @@ class PredictionService:
     def _predict_fn_for(loaded: LoadedModel):
         model: TroutModel = loaded.model
         version = loaded.version
+        fingerprint = loaded.fingerprint
 
-        def predict(rows: np.ndarray) -> list[tuple[int, object]]:
-            return [(version, p) for p in model.predict(rows)]
+        def predict(rows: np.ndarray) -> list[tuple[int, str, object]]:
+            return [(version, fingerprint, p) for p in model.predict(rows)]
 
         return predict
 
@@ -132,7 +140,7 @@ class PredictionService:
             help="registry reloads rejected (current model kept serving)",
             labels={"reason": reason},
         ).inc()
-        log.warning("model reload rejected (%s): %s", reason, detail)
+        emit("serve.reload_rejected", level="warning", reason=reason, detail=detail)
 
     def poll_registry(self) -> bool:
         """One reload check; True iff a new version was swapped in.
@@ -164,7 +172,11 @@ class PredictionService:
             self.batcher.predict_fn = self._predict_fn_for(candidate)
             self._version_gauge.set(float(candidate.version))
             self._reloads_total.inc()
-            log.info("hot-reloaded model version %d", candidate.version)
+            emit(
+                "serve.model_reloaded",
+                version=candidate.version,
+                fingerprint=candidate.fingerprint[:16],
+            )
             return True
 
     def _watch(self) -> None:
@@ -181,6 +193,8 @@ class PredictionService:
         if self._watcher is not None:
             self._watcher.join(timeout=5.0)
         self.batcher.close()
+        if self.audit is not None:
+            self.audit.flush()
 
     # ------------------------------------------------------------------ #
     # request handling
@@ -227,42 +241,99 @@ class PredictionService:
             )
         return np.array(values, dtype=np.float64), partition
 
-    def _shed(self, why: str) -> ServeResponse:
+    def _shed(self, why: str, request_id: str) -> ServeResponse:
         self._shed_total.inc()
+        emit("serve.request_shed", level="warning", request_id=request_id, reason=why)
         return ServeResponse(
             status=503,
-            payload={"error": why},
+            payload={"error": why, "request_id": request_id},
             headers={"Retry-After": str(self.config.retry_after_s)},
         )
 
-    def handle_predict(self, body: bytes) -> ServeResponse:
-        """The full ``/predict`` pipeline for one request body."""
+    def handle_predict(
+        self, body: bytes, request_id: str | None = None
+    ) -> ServeResponse:
+        """The full ``/predict`` pipeline for one request body.
+
+        ``request_id`` is the (already sanitised) client-supplied id; one
+        is minted here otherwise.  Every JSON answer echoes it, and the
+        whole pipeline runs inside a ``serve.request`` span whose context
+        rides the batch ticket into the worker thread — handler span and
+        batch span share one ``trace_id``.
+        """
+        rid = request_id or new_request_id()
+        with tracing.span("serve.request", request_id=rid) as req_span:
+            return self._predict(body, rid, req_span)
+
+    def _predict(
+        self, body: bytes, rid: str, req_span: tracing.Span
+    ) -> ServeResponse:
+        t0 = perf_counter()
         try:
-            row, _partition = self._parse_features(body)
+            row, partition = self._parse_features(body)
         except _BadRequest as exc:
-            return ServeResponse(status=exc.status, payload={"error": str(exc)})
-        try:
-            ticket = self.batcher.submit(row)
-        except QueueFullError as exc:
-            return self._shed(f"overloaded: {exc}")
-        try:
-            version, prediction = ticket.wait(self.config.request_timeout_s)
-        except TimeoutError:
-            return self._shed("prediction timed out")
-        except Exception as exc:
-            log.error("prediction failed: %s", exc)
             return ServeResponse(
-                status=500, payload={"error": f"prediction failed: {exc}"}
+                status=exc.status,
+                payload={"error": str(exc), "request_id": rid},
             )
+        try:
+            ticket = self.batcher.submit(row, context=req_span.context(rid))
+        except QueueFullError as exc:
+            return self._shed(f"overloaded: {exc}", rid)
+        try:
+            version, fingerprint, prediction = ticket.wait(
+                self.config.request_timeout_s
+            )
+        except TimeoutError:
+            return self._shed("prediction timed out", rid)
+        except Exception as exc:
+            get_registry().counter(
+                "serve_prediction_failures_total",
+                help="predictions that raised inside the batch worker",
+            ).inc()
+            emit(
+                "serve.prediction_failed",
+                level="error",
+                request_id=rid,
+                error=str(exc),
+            )
+            return ServeResponse(
+                status=500,
+                payload={"error": f"prediction failed: {exc}", "request_id": rid},
+            )
+        total_s = perf_counter() - t0
+        req_span.meta["batch_size"] = ticket.batch_size
+        req_span.meta["queue_wait_s"] = round(ticket.queue_wait_s, 6)
+        req_span.meta["compute_s"] = round(ticket.compute_s, 6)
+        req_span.meta["model_version"] = version
         minutes = prediction.minutes
+        cutoff = self._current.model.cutoff_min
+        if self.audit is not None:
+            self.audit.append(
+                request_id=rid,
+                trace_id=req_span.trace_id,
+                row=row,
+                model_version=version,
+                model_fingerprint=fingerprint,
+                p_long=float(prediction.p_long),
+                long_wait=bool(prediction.long_wait),
+                minutes=None if minutes is None else float(minutes),
+                cutoff_min=float(cutoff),
+                partition=partition,
+                queue_wait_s=ticket.queue_wait_s,
+                compute_s=ticket.compute_s,
+                total_s=total_s,
+                batch_size=ticket.batch_size,
+            )
         return ServeResponse(
             status=200,
             payload={
                 "long_wait": prediction.long_wait,
-                "message": prediction.message(self._current.model.cutoff_min),
+                "message": prediction.message(cutoff),
                 "minutes": None if minutes is None else float(minutes),
                 "model_version": version,
                 "p_long": float(prediction.p_long),
+                "request_id": rid,
             },
         )
 

@@ -207,4 +207,4 @@ def test_rolling_window_trims_old_batches():
     for _ in range(4):
         online.observe(rng.normal(size=(10, 4)), np.full(10, 100.0))
     assert online.rolling_mape == pytest.approx(0.0)
-    assert online._roll_n <= online.config.drift_window + 10
+    assert online.monitor._roll_n <= online.config.drift_window + 10

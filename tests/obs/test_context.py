@@ -1,0 +1,75 @@
+"""Trace-context ids, sanitisation, and the frozen hand-off record."""
+
+import dataclasses
+import re
+import time
+
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    clean_request_id,
+    new_request_id,
+    new_span_id,
+    new_trace_id,
+    wall_now,
+)
+from repro.obs.tracing import Span
+
+_TRACE_RE = re.compile(r"^t[0-9a-f]+-[0-9a-f]{8}$")
+_SPAN_RE = re.compile(r"^s[0-9a-f]+-[0-9a-f]{8}$")
+_REQUEST_RE = re.compile(r"^r[0-9a-f]+-[0-9a-f]{8}$")
+
+
+def test_id_formats():
+    assert _TRACE_RE.match(new_trace_id())
+    assert _SPAN_RE.match(new_span_id())
+    assert _REQUEST_RE.match(new_request_id())
+
+
+def test_ids_are_unique_across_kinds():
+    ids = {new_trace_id() for _ in range(500)}
+    ids |= {new_span_id() for _ in range(500)}
+    ids |= {new_request_id() for _ in range(500)}
+    assert len(ids) == 1500
+
+
+def test_ids_are_valid_request_ids_themselves():
+    # Our own ids must survive the sanitiser (the serve path echoes them).
+    assert clean_request_id(new_request_id()) is not None
+    assert clean_request_id(new_trace_id()) is not None
+
+
+def test_clean_request_id_accepts_sane_client_ids():
+    for raw in ("abc", "a-b_c.d:e", "A" * 64, "0", "req:2024-01-01.7"):
+        assert clean_request_id(raw) == raw
+
+
+@pytest.mark.parametrize(
+    "raw",
+    ["", "a" * 65, "has space", "newline\n", "emoji☃", "quote\"", None, 5, b"x"],
+)
+def test_clean_request_id_rejects_garbage(raw):
+    assert clean_request_id(raw) is None
+
+
+def test_wall_now_is_wall_clock():
+    before = time.time()
+    now = wall_now()
+    after = time.time()
+    assert before <= now <= after
+
+
+def test_trace_context_is_frozen():
+    ctx = TraceContext(trace_id="t1", span_id="s1", request_id="r1")
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ctx.trace_id = "t2"
+
+
+def test_span_context_packages_identity():
+    span = Span("work")
+    ctx = span.context("req-9")
+    assert ctx == TraceContext(
+        trace_id=span.trace_id, span_id=span.span_id, request_id="req-9"
+    )
+    assert span.context().request_id is None

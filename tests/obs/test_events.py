@@ -1,0 +1,258 @@
+"""Structured event log: schema, levels, ring, sink, rotation, concurrency.
+
+Log instances are constructed with ``enabled=True`` throughout so the
+suite is independent of ``REPRO_TELEMETRY`` (CI runs it both ways).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.events import (
+    EventLog,
+    EventSchemaError,
+    FileSink,
+    configure_event_log,
+    emit,
+    get_event_log,
+    iter_jsonl,
+    reset_event_log,
+)
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+def make_log(**kwargs) -> EventLog:
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("forward", False)
+    return EventLog(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# schema and levels
+# ---------------------------------------------------------------------- #
+def test_emit_returns_the_record():
+    log = make_log()
+    rec = log.emit("serve.access", request_id="r1", status=200)
+    assert rec["event"] == "serve.access"
+    assert rec["level"] == "info"
+    assert rec["request_id"] == "r1"
+    assert rec["status"] == 200
+    assert isinstance(rec["ts"], float)
+    assert log.tail() == [rec]
+
+
+@pytest.mark.parametrize(
+    "name", ["", "Serve.Access", "serve..x", "9starts_with_digit", "has space", "a.-b"]
+)
+def test_bad_event_names_raise(name):
+    with pytest.raises(EventSchemaError, match="snake_case"):
+        make_log().emit(name)
+
+
+def test_reserved_fields_raise():
+    # ("level" and "event" are real parameters of emit, so only "ts"
+    # can collide as a field.)
+    with pytest.raises(EventSchemaError, match="reserved"):
+        make_log().emit("ok.event", ts=1)
+
+
+def test_unknown_level_raises():
+    with pytest.raises(EventSchemaError, match="level"):
+        make_log().emit("ok.event", level="loud")
+
+
+def test_min_level_filters_the_ring():
+    log = make_log(min_level="warning")
+    assert log.emit("chat.ty", level="debug") is None
+    assert log.emit("chat.ty", level="info") is None
+    assert log.emit("bad.news", level="warning") is not None
+    assert [r["event"] for r in log.tail()] == ["bad.news"]
+
+
+def test_ring_is_bounded():
+    log = make_log(ring_size=10)
+    for i in range(25):
+        log.emit("tick.tock", i=i)
+    tail = log.tail()
+    assert len(tail) == 10
+    assert [r["i"] for r in tail] == list(range(15, 25))
+    assert [r["i"] for r in log.tail(3)] == [22, 23, 24]
+
+
+def test_non_jsonable_values_degrade_to_repr(tmp_path):
+    log = make_log(sink_level="debug")
+    log.configure_file(tmp_path / "ev.jsonl")
+
+    class Weird:
+        def __repr__(self):
+            return "<weird>"
+
+    log.emit("odd.value", thing=Weird())
+    log.close()
+    (rec,) = iter_jsonl(tmp_path / "ev.jsonl")
+    assert rec["thing"] == "<weird>"
+
+
+def test_bad_level_constructor_args():
+    with pytest.raises(ValueError, match="levels"):
+        EventLog(min_level="chatty")
+    with pytest.raises(ValueError, match="levels"):
+        EventLog(sink_level="chatty")
+
+
+# ---------------------------------------------------------------------- #
+# enabled switch
+# ---------------------------------------------------------------------- #
+def test_disabled_log_is_null():
+    log = make_log(enabled=False)
+    assert log.emit("no.body") is None
+    assert log.tail() == []
+
+
+def test_enabled_none_follows_registry():
+    log = make_log(enabled=None)
+    prev = get_registry().enabled
+    try:
+        get_registry().enabled = True
+        assert log.emit("seen.event") is not None
+        get_registry().enabled = False
+        assert log.emit("unseen.event") is None
+    finally:
+        get_registry().enabled = prev
+    assert [r["event"] for r in log.tail()] == ["seen.event"]
+
+
+# ---------------------------------------------------------------------- #
+# file sink and rotation
+# ---------------------------------------------------------------------- #
+def test_sink_level_gates_file_but_not_ring(tmp_path):
+    log = make_log(sink_level="info")
+    log.configure_file(tmp_path / "ev.jsonl")
+    log.emit("quiet.debug", level="debug")
+    log.emit("loud.info", level="info")
+    log.close()
+    assert len(log.tail()) == 2  # ring sees everything
+    assert [r["event"] for r in iter_jsonl(tmp_path / "ev.jsonl")] == ["loud.info"]
+
+
+def test_rotation_keeps_every_record(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    log = make_log(sink_level="debug")
+    # ~70-byte records against a 1 KiB cap: forces many generations.
+    log.configure_file(path, max_bytes=1024, backups=50)
+    n = 200
+    for i in range(n):
+        log.emit("rotate.me", i=i)
+    log.close()
+    records = list(iter_jsonl(path))
+    assert [r["i"] for r in records] == list(range(n))
+    assert any(path.with_name(f"{path.name}.{k}").exists() for k in (1, 2))
+
+
+def test_rotation_drops_only_the_oldest_generation(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    sink = FileSink(path, max_bytes=200, backups=1)
+    lines = [json.dumps({"i": i, "pad": "x" * 40}) for i in range(20)]
+    for line in lines:
+        sink.write(line)
+    sink.close()
+    kept = [r["i"] for r in iter_jsonl(path)]
+    # A contiguous suffix survives: newest records never vanish first.
+    assert kept == list(range(20 - len(kept), 20))
+    assert kept  # something survives
+    assert not path.with_name(f"{path.name}.2").exists()
+
+
+def test_file_sink_validates_args(tmp_path):
+    with pytest.raises(ValueError):
+        FileSink(tmp_path / "x", max_bytes=0)
+    with pytest.raises(ValueError):
+        FileSink(tmp_path / "x", backups=-1)
+
+
+def test_sink_failure_counts_dropped(tmp_path):
+    log = make_log(sink_level="debug")
+    log.configure_file(tmp_path / "ev.jsonl")
+    log._sink._fh.close()  # simulate the disk going away
+    log.emit("lost.write")
+    assert log.dropped == 1
+    assert len(log.tail()) == 1  # the ring still has it
+    log._sink = None
+
+
+# ---------------------------------------------------------------------- #
+# concurrency: complete lines, complete history
+# ---------------------------------------------------------------------- #
+def test_concurrent_emitters_tear_nothing_lose_nothing(tmp_path):
+    path = tmp_path / "ev.jsonl"
+    log = make_log(ring_size=10_000, sink_level="debug")
+    # Small cap + ample backups: rotation happens repeatedly mid-storm
+    # and still must not lose or interleave a single record.
+    log.configure_file(path, max_bytes=16 << 10, backups=64)
+    n_threads, per_thread = 8, 250
+    barrier = threading.Barrier(n_threads)
+
+    def storm(t: int) -> None:
+        barrier.wait(timeout=30)
+        for i in range(per_thread):
+            log.emit("storm.event", thread=t, i=i, pad="p" * 40)
+
+    threads = [
+        threading.Thread(target=storm, args=(t,), daemon=True)
+        for t in range(n_threads)
+    ]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join(timeout=60)
+    log.close()
+
+    assert log.dropped == 0
+    # Every line parses (no torn/interleaved writes) ...
+    records = list(iter_jsonl(path))
+    # ... and every (thread, i) pair is present exactly once.
+    seen = [(r["thread"], r["i"]) for r in records]
+    assert len(seen) == n_threads * per_thread
+    assert set(seen) == {
+        (t, i) for t in range(n_threads) for i in range(per_thread)
+    }
+    # Per-thread order is preserved by the single lock.
+    for t in range(n_threads):
+        order = [i for tt, i in seen if tt == t]
+        assert order == sorted(order)
+
+
+# ---------------------------------------------------------------------- #
+# global log plumbing
+# ---------------------------------------------------------------------- #
+@pytest.fixture
+def global_log(tmp_path):
+    glog = get_event_log()
+    prev = glog._enabled
+    glog._enabled = True
+    glog.clear()
+    yield glog
+    glog._enabled = prev
+    reset_event_log()
+
+
+def test_global_emit_and_configure(global_log, tmp_path):
+    configure_event_log(tmp_path / "global.jsonl", sink_level="debug")
+    emit("global.hello", level="debug", k=1)
+    get_event_log().flush()
+    (rec,) = iter_jsonl(tmp_path / "global.jsonl")
+    assert rec["event"] == "global.hello"
+    assert global_log.tail()[-1]["event"] == "global.hello"
+    reset_event_log()
+    assert global_log.tail() == []
+
+
+def test_iter_jsonl_skips_blank_lines(tmp_path):
+    p = tmp_path / "f.jsonl"
+    p.write_text('{"a":1}\n\n{"a":2}\n')
+    assert [r["a"] for r in iter_jsonl(p)] == [1, 2]
+
+
+def test_iter_jsonl_missing_file_is_empty(tmp_path):
+    assert list(iter_jsonl(tmp_path / "absent.jsonl")) == []

@@ -10,6 +10,7 @@ from repro.obs.export import (
     render_report,
     render_snapshot,
     snapshot,
+    to_chrome,
     to_json,
     to_prometheus,
 )
@@ -135,3 +136,108 @@ def test_render_report_empty_snapshot():
 def test_render_snapshot_rejects_unknown_version():
     with pytest.raises(ValueError, match="version"):
         render_snapshot({"version": 999, "metrics": {}, "spans": []})
+
+
+# ---------------------------------------------------------------------- #
+# version-1 snapshots (PR 3, before span identity) stay readable
+# ---------------------------------------------------------------------- #
+#: A span dict exactly as version-1 ``to_dict`` wrote it — no trace_id /
+#: span_id / parent_id / start / tid keys.
+_V1_SPAN = {
+    "name": "fit",
+    "elapsed": 2.0,
+    "alloc_blocks": 10,
+    "count": 1,
+    "meta": {"epochs": 3},
+    "children": [
+        {
+            "name": "epoch",
+            "elapsed": 0.5,
+            "alloc_blocks": 0,
+            "count": 1,
+            "meta": {},
+            "children": [],
+        }
+    ],
+}
+
+
+def test_render_snapshot_reads_version_1():
+    text = render_snapshot(
+        {"version": 1, "metrics": {}, "spans": [_V1_SPAN]}
+    )
+    assert "fit" in text
+    assert "epoch" in text
+
+
+def test_span_from_dict_v1_regenerates_identity():
+    span = Span.from_dict(_V1_SPAN)
+    assert span.trace_id and span.span_id  # regenerated, not empty
+    assert span.parent_id == ""
+    assert span.start == 0.0 and span.tid == 0
+    assert span.meta == {"epochs": 3}
+    (child,) = span.children
+    assert child.span_id and child.span_id != span.span_id
+
+
+def test_span_roundtrip_preserves_identity():
+    tr = Tracer(retain=True)
+    with tr.span("outer"):
+        with tr.span("inner"):
+            pass
+    (root,) = tr.drain()
+    clone = Span.from_dict(json.loads(json.dumps(root.to_dict())))
+    assert clone.trace_id == root.trace_id
+    assert clone.span_id == root.span_id
+    assert clone.children[0].parent_id == root.span_id
+    assert clone.children[0].trace_id == root.trace_id
+    assert clone.start == root.start
+    assert clone.tid == root.tid
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event export
+# ---------------------------------------------------------------------- #
+def test_to_chrome_emits_complete_events():
+    tr = Tracer(retain=True)
+    with tr.span("outer", foo=1):
+        with tr.span("inner"):
+            pass
+    snap = snapshot(MetricsRegistry(enabled=True), tr)
+    doc = json.loads(to_chrome(snap))
+    assert doc["displayTimeUnit"] == "ms"
+    events = {e["name"]: e for e in doc["traceEvents"]}
+    assert set(events) == {"outer", "inner"}
+    outer, inner = events["outer"], events["inner"]
+    for e in (outer, inner):
+        assert e["ph"] == "X"
+        assert e["pid"] == 1
+        assert e["tid"] >= 1
+        assert e["dur"] >= 0.0
+    # Timestamps rebase to the earliest span; nesting is preserved.
+    assert outer["ts"] == 0.0
+    assert inner["ts"] >= outer["ts"]
+    assert inner["dur"] <= outer["dur"]
+    # Identity rides in args so Perfetto's detail pane can join lanes.
+    assert inner["args"]["trace_id"] == outer["args"]["trace_id"]
+    assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+    assert "parent_id" not in outer["args"]
+    assert outer["args"]["foo"] == 1
+
+
+def test_to_chrome_reads_version_1_spans():
+    doc = json.loads(
+        to_chrome({"version": 1, "metrics": {}, "spans": [_V1_SPAN]})
+    )
+    events = doc["traceEvents"]
+    assert {e["name"] for e in events} == {"fit", "epoch"}
+    # No start info in v1: everything lands at t=0, durations survive.
+    assert all(e["ts"] == 0.0 for e in events)
+    assert {e["dur"] for e in events} == {2.0e6, 0.5e6}
+
+
+def test_to_chrome_empty_snapshot():
+    doc = json.loads(
+        to_chrome({"version": SNAPSHOT_VERSION, "metrics": {}, "spans": []})
+    )
+    assert doc["traceEvents"] == []

@@ -119,7 +119,11 @@ class ServerHarness:
         self.port = server.port
 
     def request(
-        self, method: str, path: str, body: dict | str | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | str | None = None,
+        headers: dict[str, str] | None = None,
     ) -> tuple[int, dict[str, str], bytes]:
         conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=30)
         try:
@@ -130,7 +134,7 @@ class ServerHarness:
                     if isinstance(body, str)
                     else json.dumps(body).encode("utf-8")
                 )
-            conn.request(method, path, body=payload)
+            conn.request(method, path, body=payload, headers=headers or {})
             resp = conn.getresponse()
             data = resp.read()
             headers = {k.lower(): v for k, v in resp.getheaders()}
@@ -152,9 +156,10 @@ def serve_harness():
         loaded: LoadedModel,
         config: ServeConfig | None = None,
         registry=None,
+        audit=None,
     ) -> ServerHarness:
         config = config or ServeConfig(max_batch=8, max_wait_ms=2.0)
-        service = PredictionService(loaded, config, registry=registry)
+        service = PredictionService(loaded, config, registry=registry, audit=audit)
         server = start_server(service, "127.0.0.1", 0)
         harness = ServerHarness(service, server)
         started.append(harness)

@@ -1,0 +1,226 @@
+"""Prediction audit trail: append/read round-trip, stats, replay."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import get_registry
+from repro.serve.audit import (
+    AuditTrail,
+    audit_stats,
+    features_hash,
+    iter_audit_records,
+    replay_audit,
+)
+
+from tests.serve.conftest import metric_value
+
+
+def _append(trail: AuditTrail, i: int, **overrides) -> None:
+    kwargs = dict(
+        request_id=f"r-{i}",
+        trace_id=f"t-{i}",
+        row=np.full(4, float(i)),
+        model_version=1,
+        model_fingerprint="abcdef0123456789beef",
+        p_long=0.75,
+        long_wait=True,
+        minutes=42.5,
+        cutoff_min=10.0,
+        partition=None,
+        queue_wait_s=0.001,
+        compute_s=0.002,
+        total_s=0.004,
+        batch_size=3,
+    )
+    kwargs.update(overrides)
+    trail.append(**kwargs)
+
+
+# ---------------------------------------------------------------------- #
+# write side
+# ---------------------------------------------------------------------- #
+def test_append_read_round_trip(tmp_path):
+    path = tmp_path / "audit.jsonl"
+    trail = AuditTrail(path, enabled=True)
+    _append(trail, 0)
+    _append(trail, 1, minutes=None, long_wait=False, partition='g"pu')
+    trail.close()
+
+    first, second = iter_audit_records(path)
+    assert first["request_id"] == "r-0"
+    assert first["trace_id"] == "t-0"
+    assert first["features_hash"] == features_hash(np.full(4, 0.0))
+    assert first["model_version"] == 1
+    assert first["model_fingerprint"] == "abcdef0123456789"  # 16-char prefix
+    assert first["p_long"] == pytest.approx(0.75)
+    assert first["long_wait"] is True
+    assert first["minutes"] == pytest.approx(42.5)
+    assert first["cutoff_min"] == pytest.approx(10.0)
+    assert first["partition"] is None
+    assert first["queue_wait_s"] == pytest.approx(0.001)
+    assert first["batch_size"] == 3
+    assert isinstance(first["ts"], float)
+    # Short-wait record: minutes null, partition JSON-escaped correctly.
+    assert second["minutes"] is None
+    assert second["long_wait"] is False
+    assert second["partition"] == 'g"pu'
+    assert trail.n_appended == 2
+
+
+def test_append_counts_in_the_registry(tmp_path):
+    reg = get_registry()
+    prev = reg.enabled
+    reg.enabled = True  # hold the registry live even under REPRO_TELEMETRY=0
+    reg.reset()
+    try:
+        trail = AuditTrail(tmp_path / "a.jsonl", enabled=True)
+        _append(trail, 0)
+        _append(trail, 1)
+        trail.close()
+        assert metric_value("serve_audit_records_total") == 2
+    finally:
+        reg.enabled = prev
+
+
+def test_disabled_trail_is_null(tmp_path):
+    path = tmp_path / "a.jsonl"
+    trail = AuditTrail(path, enabled=False)
+    _append(trail, 0)
+    trail.close()
+    assert trail.n_appended == 0
+    assert list(iter_audit_records(path)) == []
+
+
+def test_lines_are_plain_flat_json(tmp_path):
+    """The hand-assembled f-string must be byte-for-byte valid JSON."""
+    path = tmp_path / "a.jsonl"
+    trail = AuditTrail(path, enabled=True)
+    _append(trail, 0, partition="shared\\weird")
+    trail.close()
+    (line,) = path.read_text().strip().splitlines()
+    rec = json.loads(line)  # would raise on a malformed line
+    assert rec["partition"] == "shared\\weird"
+
+
+def test_rotation_is_readable_as_one_stream(tmp_path):
+    path = tmp_path / "a.jsonl"
+    trail = AuditTrail(path, max_bytes=2048, backups=20, enabled=True)
+    for i in range(40):
+        _append(trail, i)
+    trail.close()
+    ids = [r["request_id"] for r in iter_audit_records(path)]
+    assert ids == [f"r-{i}" for i in range(40)]
+
+
+def test_features_hash_is_stable_and_discriminating():
+    row = np.array([1.0, 2.0, 3.0])
+    assert features_hash(row) == features_hash(row.copy())
+    assert features_hash(row) != features_hash(np.array([1.0, 2.0, 3.5]))
+    assert len(features_hash(row)) == 16
+    # Non-contiguous views hash by value, not by memory layout.
+    wide = np.arange(6.0).reshape(2, 3)
+    assert features_hash(wide[:, 1]) == features_hash(np.array([1.0, 4.0]))
+
+
+# ---------------------------------------------------------------------- #
+# read side: stats
+# ---------------------------------------------------------------------- #
+def test_audit_stats_aggregates(tmp_path):
+    trail = AuditTrail(tmp_path / "a.jsonl", enabled=True)
+    _append(trail, 0, long_wait=True, model_version=1, total_s=0.01)
+    _append(trail, 1, long_wait=False, minutes=None, model_version=1, total_s=0.03)
+    _append(trail, 2, long_wait=True, model_version=2, total_s=0.02)
+    trail.close()
+    stats = audit_stats(iter_audit_records(tmp_path / "a.jsonl"))
+    assert stats["n_records"] == 3
+    assert stats["n_long_wait"] == 2
+    assert stats["long_wait_share"] == pytest.approx(2 / 3)
+    assert stats["mean_total_s"] == pytest.approx(0.02)
+    assert stats["max_total_s"] == pytest.approx(0.03)
+    assert stats["versions"] == {"1": 2, "2": 1}
+    assert stats["mean_batch_size"] == pytest.approx(3.0)
+    assert stats["span_seconds"] >= 0.0
+
+
+def test_audit_stats_empty():
+    stats = audit_stats([])
+    assert stats["n_records"] == 0
+    assert stats["long_wait_share"] == 0.0
+    assert stats["versions"] == {}
+
+
+# ---------------------------------------------------------------------- #
+# read side: replay
+# ---------------------------------------------------------------------- #
+def _record(i, minutes, cutoff=10.0, long_wait=True):
+    return {
+        "request_id": f"r-{i}",
+        "long_wait": long_wait,
+        "minutes": minutes,
+        "cutoff_min": cutoff,
+    }
+
+
+def test_replay_scores_classifier_and_regressor():
+    # Predictions say 100 min; actuals agree for the first half.
+    records = [_record(i, 100.0) for i in range(8)]
+    actuals = {f"r-{i}": (100.0 if i < 4 else 20.0) for i in range(8)}
+    report = replay_audit(
+        records, actuals, threshold=None, window=100, min_samples=1
+    )
+    assert report["n_records"] == 8
+    assert report["n_joined"] == 8
+    assert report["n_scored_long"] == 8  # all actuals above the cutoff
+    assert report["classifier_accuracy"] == pytest.approx(1.0)
+    # APE: 0 for agreeing half, 400 % for the drifted half.
+    assert report["mape"] == pytest.approx(200.0)
+    assert report["n_drift_alarms"] == 0  # threshold=None disables alarms
+
+
+def test_replay_alarms_match_online_semantics():
+    """The replayed monitor raises on the rising edge only, like the
+    live prequential monitor."""
+    good = [_record(i, 100.0) for i in range(10)]
+    bad = [_record(10 + i, 100.0) for i in range(10)]
+    records = good + bad
+    actuals = {r["request_id"]: 100.0 for r in good}
+    actuals.update({r["request_id"]: 20.0 for r in bad})  # APE 400 %
+    report = replay_audit(
+        records, actuals, threshold=50.0, window=10, min_samples=5
+    )
+    assert report["n_drift_alarms"] == 1
+    (alarm,) = report["alarms"]
+    assert alarm["request_id"].startswith("r-1")
+    assert alarm["rolling_mape"] > 50.0
+    assert report["rolling_mape"] > 50.0
+
+
+def test_replay_prefers_prejoined_actuals():
+    records = [dict(_record(0, 100.0), actual_minutes=100.0)]
+    report = replay_audit(records, actuals=None, min_samples=1)
+    assert report["n_joined"] == 1
+    assert report["mape"] == pytest.approx(0.0)
+
+
+def test_replay_skips_unjoined_and_short_waits():
+    records = [
+        _record(0, 100.0),  # no actual -> skipped
+        _record(1, None, long_wait=False),  # short-wait prediction
+        _record(2, 100.0),
+    ]
+    actuals = {"r-1": 5.0, "r-2": 100.0}
+    report = replay_audit(records, actuals, min_samples=1)
+    assert report["n_records"] == 3
+    assert report["n_joined"] == 2
+    assert report["n_scored_long"] == 1  # r-1 is truly short: clf-only
+    assert report["classifier_accuracy"] == pytest.approx(1.0)
+
+
+def test_replay_empty_trail():
+    report = replay_audit([])
+    assert report["n_records"] == 0
+    assert math.isnan(report["classifier_accuracy"])
+    assert math.isnan(report["mape"])

@@ -110,14 +110,21 @@ def _shedding_server(serve_harness):
     def fire() -> None:
         harness.predict({"features": feature_row(0)})
 
-    # First request occupies the worker, second fills the depth-1 queue.
-    for _ in range(2):
-        t = threading.Thread(target=fire, daemon=True)
-        t.start()
-        background.append(t)
+    # First request occupies the worker.  Only once it is provably inside
+    # the stalled model call does the second go out — were both in flight
+    # at once, the second could reach the depth-1 queue before the worker
+    # drained the first and shed *itself*, leaving the queue empty.
+    first = threading.Thread(target=fire, daemon=True)
+    first.start()
+    background.append(first)
     assert entered.wait(10.0)
+    second = threading.Thread(target=fire, daemon=True)
+    second.start()
+    background.append(second)
     deadline = threading.Event()
-    for _ in range(200):  # wait until the queue slot is actually taken
+    # Generous: under a loaded parallel run the second handler thread can
+    # take whole seconds to get scheduled.
+    for _ in range(3000):
         if len(batcher._queue) >= 1:
             break
         deadline.wait(0.01)

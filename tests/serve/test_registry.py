@@ -122,7 +122,7 @@ def test_bad_publish_keeps_current_model(registry, corrupt, match):
         assert service.current.version == 1
         assert metric_value("serve_reload_failures_total", reason="load") == 1.0
         # Still serving version 1's constant answer.
-        _version, pred = service.batcher.submit(
+        _version, _fp, pred = service.batcher.submit(
             np.array(feature_row(3))
         ).wait(10.0)
         assert pred.minutes == 42.0
@@ -191,7 +191,7 @@ def test_hot_reload_does_not_drop_in_flight_requests(registry):
         i = 0
         while not stop.is_set():
             try:
-                _v, pred = service.batcher.submit(
+                _v, _fp, pred = service.batcher.submit(
                     np.array(feature_row(i % 7))
                 ).wait(10.0)
                 minutes_seen.add(pred.minutes)
@@ -205,7 +205,7 @@ def test_hot_reload_does_not_drop_in_flight_requests(registry):
         for t in threads:
             t.start()
         # Guarantee at least one pre-reload answer is on record.
-        _v, pred = service.batcher.submit(np.array(feature_row(0))).wait(10.0)
+        _v, _fp, pred = service.batcher.submit(np.array(feature_row(0))).wait(10.0)
         minutes_seen.add(pred.minutes)
         assert pred.minutes == 42.0
         # Publish + reload while traffic is flowing.
@@ -213,7 +213,7 @@ def test_hot_reload_does_not_drop_in_flight_requests(registry):
         assert service.poll_registry() is True
         # Let post-reload traffic through, then stop.
         deadline_pred = service.batcher.submit(np.array(feature_row(1)))
-        _v, pred = deadline_pred.wait(10.0)
+        _v, _fp, pred = deadline_pred.wait(10.0)
         assert pred.minutes == 77.0
     finally:
         stop.set()
