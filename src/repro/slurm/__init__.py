@@ -18,7 +18,14 @@ from repro.slurm.anvil import anvil_cluster
 from repro.slurm.fairshare import FairShareTracker
 from repro.slurm.priority import MultifactorPriority, PriorityWeights
 from repro.slurm.resources import Cluster, NodePool, Partition
-from repro.slurm.simulator import PreemptionPolicy, SimulationResult, Simulator
+from repro.slurm.queue import EventQueue, JobPool
+from repro.slurm.simulator import (
+    SIM_ENGINES,
+    PreemptionPolicy,
+    SimulationResult,
+    Simulator,
+    resolve_sim_engine,
+)
 from repro.slurm.utilization import pool_utilization, utilization_summary
 
 __all__ = [
@@ -32,6 +39,10 @@ __all__ = [
     "Simulator",
     "SimulationResult",
     "PreemptionPolicy",
+    "SIM_ENGINES",
+    "resolve_sim_engine",
+    "EventQueue",
+    "JobPool",
     "pool_utilization",
     "utilization_summary",
 ]

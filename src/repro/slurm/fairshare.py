@@ -50,6 +50,11 @@ class FairShareTracker:
         self._norm_shares = shares / shares.sum()
         self._usage = np.zeros(n_users, dtype=np.float64)
         self._last_decay = 0.0
+        #: Bumped on every usage charge.  Decay alone does not bump it:
+        #: the per-user factor *vector* still has to be recomputed at a
+        #: new time (decay rescales usage), but callers caching factors
+        #: keyed ``(t, version)`` are guaranteed the cache is exact.
+        self.version = 0
 
     # ------------------------------------------------------------------ #
     def _decay_to(self, t: float) -> None:
@@ -69,6 +74,7 @@ class FairShareTracker:
             raise ValueError("cpu_seconds must be non-negative")
         self._decay_to(t)
         self._usage[user_id] += cpu_seconds
+        self.version += 1
 
     def usage(self, t: float | None = None) -> np.ndarray:
         """Decayed usage vector (optionally decayed to time ``t`` first)."""
@@ -90,3 +96,19 @@ class FairShareTracker:
         u_norm = self._usage[user_ids] / total
         s_norm = self._norm_shares[user_ids]
         return np.power(2.0, -(u_norm / s_norm))
+
+    def factors_all(self, t: float) -> np.ndarray:
+        """Fair-share factors for *every* user at time ``t``.
+
+        Gathering per job from this vector is bitwise-identical to
+        :meth:`factors` on the same user ids (division and ``2**x`` are
+        elementwise, so they commute with the gather) — the fast
+        simulation engine computes the vector once per ``(t, version)``
+        instead of re-evaluating ``2**x`` per pending job per pass.
+        """
+        self._decay_to(t)
+        total = self._usage.sum()
+        if total <= 0:
+            return np.ones(self.n_users, dtype=np.float64)
+        u_norm = self._usage / total
+        return np.power(2.0, -(u_norm / self._norm_shares))

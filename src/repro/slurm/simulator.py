@@ -7,16 +7,32 @@ side.  The result converts to a :class:`~repro.data.schema.JobSet`
 accounting trace identical in shape to what the paper extracted from
 Slurm's ``sacct``.
 
-The event loop is a binary heap of (time, seq, kind, job) tuples with two
-event kinds — a job becoming *eligible* and a job *ending* — and a
-scheduling pass over each affected pool after every batch of simultaneous
-events.  Job attributes live in one structured array so scheduling passes
-are vectorised gathers, not object traversals.
+Two engines produce bitwise-identical traces (``REPRO_SIM_ENGINE`` /
+``Simulator(engine=...)``):
+
+- ``fast`` (default) — an indexed lazy-deletion event queue
+  (:class:`~repro.slurm.queue.EventQueue`), O(1) swap-remove
+  pending/running sets (:class:`~repro.slurm.queue.JobPool`), cached
+  incremental priorities and the vectorised backfill pass
+  (:class:`~repro.slurm.scheduler.VectorBackfillScheduler`).
+- ``reference`` — the original straight-line implementation: a plain
+  binary heap of (time, seq, kind, job, attempt) tuples, Python index
+  lists and the scalar scheduling pass.  It exists as the determinism
+  oracle; CI runs the scheduling suites under it and the equivalence
+  suite asserts trace equality against ``fast``.
+
+The event loop has three event kinds — a job becoming *eligible*, a job
+*ending*, and a requeue hold *releasing* — and runs a scheduling pass
+over each affected pool after every batch of simultaneous events.  Job
+attributes live in one structured array so scheduling passes are
+vectorised gathers, not object traversals.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,12 +41,23 @@ from repro.data.schema import JOB_DTYPE, JobSet, JobState
 from repro.obs import metrics, tracing
 from repro.slurm.fairshare import FairShareTracker
 from repro.slurm.nodes import NodeLedger
-from repro.slurm.priority import MultifactorPriority, PriorityWeights
+from repro.slurm.priority import CachedPriority, MultifactorPriority, PriorityWeights
+from repro.slurm.queue import EventQueue, JobPool
 from repro.slurm.resources import Cluster
-from repro.slurm.scheduler import BackfillScheduler, PoolLedger
+from repro.slurm.scheduler import (
+    BackfillScheduler,
+    PoolLedger,
+    VectorBackfillScheduler,
+)
 from repro.utils.logging import get_logger
 
-__all__ = ["SUBMISSION_DTYPE", "Simulator", "SimulationResult"]
+__all__ = [
+    "SUBMISSION_DTYPE",
+    "SIM_ENGINES",
+    "Simulator",
+    "SimulationResult",
+    "resolve_sim_engine",
+]
 
 log = get_logger(__name__)
 
@@ -60,6 +87,24 @@ _SIM_DTYPE = np.dtype(SUBMISSION_DTYPE.descr + [("start_time", np.float64), ("en
 _EV_ELIGIBLE = 0
 _EV_END = 1
 _EV_RELEASE = 2  # a requeue hold expired; re-run the pool's scheduler
+
+#: Valid simulation engines; ``fast`` is the default, ``reference`` the
+#: bitwise-identical original kept as the determinism oracle.
+SIM_ENGINES = ("fast", "reference")
+
+
+def resolve_sim_engine(engine: str | None) -> str:
+    """``None`` defers to the ``REPRO_SIM_ENGINE`` env knob (default ``fast``).
+
+    Mirrors ``repro.ml.binning.resolve_tree_method``: CI runs the
+    scheduling suites once per engine by exporting the variable, and
+    explicit arguments always win over the environment.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_SIM_ENGINE", "fast")
+    if engine not in SIM_ENGINES:
+        raise ValueError(f"sim engine must be one of {SIM_ENGINES}, got {engine!r}")
+    return engine
 
 
 @dataclass(frozen=True)
@@ -106,6 +151,45 @@ class SimulationResult:
         return self.jobs.queue_time_min
 
 
+class _Metrics:
+    """Handles resolved once per run; per-pass updates are attribute
+    bumps (or no-ops with telemetry disabled)."""
+
+    def __init__(self) -> None:
+        reg = metrics.get_registry()
+        self.queue = reg.gauge("sim_queue_depth", help="pending jobs across all pools")
+        self.running = reg.gauge(
+            "sim_running_jobs", help="running jobs across all pools"
+        )
+        self.passes = reg.counter(
+            "sim_scheduler_passes_total", help="scheduling passes executed"
+        )
+        self.started = reg.counter(
+            "sim_jobs_started_total", help="job starts (requeued jobs count again)"
+        )
+        self.backfilled = reg.counter(
+            "sim_jobs_backfilled_total", help="jobs started via EASY backfill"
+        )
+        self.preempted = reg.counter(
+            "sim_preemptions_total", help="running jobs evicted by preemption"
+        )
+        self.tombstoned = reg.counter(
+            "sim_events_tombstoned_total",
+            help="events invalidated in the lazy-deletion queue",
+        )
+        self.jobs_per_second = reg.gauge(
+            "sim_jobs_per_second",
+            help="simulated jobs per wall-clock second, last run",
+        )
+        # Queue depth is a dimensionless job count — none of the unit
+        # suffixes apply, and the name is a published PR-3 surface.
+        self.depth = reg.histogram(  # repro: ignore[OBS001]
+            "sim_queue_depth_per_pass",
+            help="pool queue depth seen by each scheduling pass",
+            buckets=metrics.log_buckets(1.0, 1e5),
+        )
+
+
 class Simulator:
     """Run a submission table through the scheduler.
 
@@ -121,6 +205,9 @@ class Simulator:
         Per-pass backfill scan bound.
     fairshare_half_life_s:
         Usage decay half-life.
+    engine:
+        ``fast`` | ``reference`` | None (defer to ``REPRO_SIM_ENGINE``).
+        Both engines produce bitwise-identical traces.
     """
 
     def __init__(
@@ -132,6 +219,7 @@ class Simulator:
         fairshare_half_life_s: float = 14 * 24 * 3600.0,
         preemption: "PreemptionPolicy | None" = None,
         node_level: bool = False,
+        engine: str | None = None,
     ) -> None:
         self.cluster = cluster
         self.fairshare = FairShareTracker(n_users, half_life_s=fairshare_half_life_s)
@@ -145,6 +233,7 @@ class Simulator:
         self.preemption = preemption
         #: Fragmentation-aware per-node placement (see repro.slurm.nodes).
         self.node_level = node_level
+        self.engine = resolve_sim_engine(engine)
 
     # ------------------------------------------------------------------ #
     def run(self, submissions: np.ndarray) -> SimulationResult:
@@ -154,7 +243,9 @@ class Simulator:
         eventually starts (requests are validated as satisfiable up front);
         the simulation drains all events.
         """
-        with tracing.span("simulate", jobs=len(submissions)):
+        with tracing.span(
+            "simulate", jobs=len(submissions), engine=self.engine
+        ):
             return self._run(submissions)
 
     def _run(self, submissions: np.ndarray) -> SimulationResult:
@@ -170,10 +261,18 @@ class Simulator:
         jobs["start_time"] = -1.0
         jobs["end_time"] = -1.0
         self._validate(jobs)
+        mx = _Metrics()
+        t0 = time.perf_counter()
+        if self.engine == "reference":
+            result = self._run_reference(jobs, mx)
+        else:
+            result = self._run_fast(jobs, mx)
+        elapsed = time.perf_counter() - t0
+        mx.jobs_per_second.set(n / elapsed if elapsed > 0 else 0.0)
+        return result
 
-        part_pool = self.cluster.partition_pool_ids()
-        pool_of_job = part_pool[jobs["partition"].astype(np.intp)]
-        ledgers = [
+    def _make_ledgers(self) -> list[PoolLedger]:
+        return [
             PoolLedger(
                 pool.total_cpus,
                 pool.total_mem_gb,
@@ -182,6 +281,232 @@ class Simulator:
             )
             for pool in self.cluster.pools
         ]
+
+    # ------------------------------------------------------------------ #
+    # Fast engine: lazy-deletion event queue, swap-remove pools,
+    # incremental priorities, vectorised scheduling pass.
+    # ------------------------------------------------------------------ #
+    def _run_fast(self, jobs: np.ndarray, mx: _Metrics) -> SimulationResult:
+        n = len(jobs)
+        part_pool = self.cluster.partition_pool_ids()
+        pool_of_job = part_pool[jobs["partition"].astype(np.intp)]
+        ledgers = self._make_ledgers()
+        n_pools = len(self.cluster.pools)
+        pending = [JobPool(n) for _ in range(n_pools)]
+        running = [JobPool(n) for _ in range(n_pools)]
+        prio_at_elig = np.zeros(n, dtype=np.float64)
+
+        # Hot job attributes as contiguous columns: scheduling reads are
+        # array gathers, never structured-array scalar pulls.
+        elig = jobs["eligible_time"].astype(np.float64)
+        req_c = jobs["req_cpus"].astype(np.float64)
+        req_m = jobs["req_mem_gb"].astype(np.float64)
+        req_g = jobs["req_gpus"].astype(np.float64)
+        req_nodes = jobs["req_nodes"].astype(np.int64)
+        limit_s = jobs["timelimit_min"].astype(np.float64) * 60.0
+        eff_run_s = np.minimum(jobs["runtime_min"], jobs["timelimit_min"]) * 60.0
+        user_ids = jobs["user_id"].astype(np.intp)
+        qos = jobs["qos"].astype(np.int64)
+        start_arr = np.full(n, -1.0, dtype=np.float64)
+        end_arr = np.full(n, -1.0, dtype=np.float64)
+        # Global start counter: equals the reference engine's running-list
+        # insertion order, so every tie the reference breaks positionally
+        # (shadow release schedule, victim selection) breaks identically.
+        start_seq = np.zeros(n, dtype=np.int64)
+        next_seq = 0
+        if self.scheduler.exclusive_by_partition is not None:
+            excl = self.scheduler.exclusive_by_partition[
+                jobs["partition"].astype(np.intp)
+            ]
+        else:
+            excl = np.zeros(n, dtype=bool)
+
+        cached = CachedPriority(self.priority, jobs)
+        vsched = VectorBackfillScheduler(
+            cached,
+            self.scheduler.backfill_depth,
+            job_ids=jobs["job_id"].astype(np.int64),
+            eligible=elig,
+            req_cpus=req_c,
+            req_mem=req_m,
+            req_gpus=req_g,
+            req_nodes=req_nodes,
+            limit_s=limit_s,
+            exclusive=excl,
+        )
+
+        # Requeued victims are held until this time before rescheduling.
+        hold_until = np.zeros(n, dtype=np.float64)
+        n_preemptions = 0
+        policy = self.preemption
+
+        q = EventQueue()
+        for j in np.argsort(elig, kind="stable"):
+            q.push(float(elig[j]), _EV_ELIGIBLE, int(j))
+
+        def preempt(pool: int, ledger: PoolLedger) -> list[int]:
+            """Evict lower-QOS running jobs for a blocked preemptor head.
+
+            Same policy as the reference engine's ``_maybe_preempt``; the
+            victim's stale END event is tombstoned in the queue instead
+            of being attempt-tagged.
+            """
+            head = vsched.last_blocked
+            run_pool = running[pool]
+            if policy is None or head is None or len(run_pool) == 0:
+                return []
+            head_qos = int(qos[head])
+            if head_qos < policy.min_preemptor_qos:
+                return []
+            view = run_pool.view()
+            vic = view[qos[view] < head_qos]
+            if len(vic) == 0:
+                return []
+            # Most recently started first (ties: earliest-started-counter
+            # first, the reference's list order): minimises wasted work.
+            vic = vic[np.lexsort((start_seq[vic], -start_arr[vic]))]
+            need = (req_c_l[head], req_m_l[head], req_g_l[head])
+            evicted: list[int] = []
+            for j in vic:
+                if ledger.fits(*need) or len(evicted) >= policy.max_victims_per_pass:
+                    break
+                j = int(j)
+                run_pool.remove(j)
+                vsched.schedule_remove(run_pool, j)
+                ledger.release_job(j, req_c_l[j], req_m_l[j], req_g_l[j])
+                # Charge the wasted partial run to fair-share; requeue
+                # from scratch with the old END event tombstoned.
+                self.fairshare.add_usage(
+                    user_ids_l[j], req_c_l[j] * max(t - start_arr[j], 0.0), t
+                )
+                q.invalidate(_EV_END, j)
+                start_arr[j] = -1.0
+                end_arr[j] = -1.0
+                pending[pool].add(j)
+                evicted.append(j)
+            # If victims ran out before the head fits, the evictions stand
+            # and the head keeps waiting (Slurm behaves the same).
+            return evicted
+
+        # Python-scalar mirrors for per-event lookups in the loop (same
+        # IEEE doubles; list indexing skips NumPy scalar boxing).
+        pool_ids = pool_of_job.tolist()
+        req_c_l = req_c.tolist()
+        req_m_l = req_m.tolist()
+        req_g_l = req_g.tolist()
+        user_ids_l = user_ids.tolist()
+        elig_l = elig.tolist()
+        eff_run_s_l = eff_run_s.tolist()
+        n_pending = 0
+        n_running = 0
+        # Latest requeue-hold expiry: when ``t`` has passed it, no job is
+        # held and the per-pass hold filter is skipped entirely.
+        hold_horizon = -np.inf
+        n_passes = 0
+        # Counter totals accumulate locally and flush once after the
+        # loop — the counters are monotone, so only the final value is
+        # observable from a finished run.
+        n_started_total = 0
+        n_backfilled_total = 0
+        while True:
+            batch = q.drain_next(1e-9)
+            if batch is None:
+                break
+            t, events = batch
+            dirty: set[int] = set()
+            newly_eligible: list[int] = []
+            # Drain all events at this timestamp before scheduling.
+            for _, kind, j in events:
+                pool = pool_ids[j]
+                if kind == _EV_ELIGIBLE:
+                    pending[pool].add(j)
+                    n_pending += 1
+                    newly_eligible.append(j)
+                elif kind == _EV_END:
+                    running[pool].remove(j)
+                    vsched.schedule_remove(running[pool], j)
+                    n_running -= 1
+                    ledgers[pool].release_job(j, req_c_l[j], req_m_l[j], req_g_l[j])
+                    run_s = end_arr[j] - start_arr[j]
+                    self.fairshare.add_usage(user_ids_l[j], req_c_l[j] * run_s, t)
+                # _EV_RELEASE: hold expired — just mark the pool dirty.
+                dirty.add(pool)
+
+            if newly_eligible:
+                if len(newly_eligible) == 1:
+                    j = newly_eligible[0]
+                    prio_at_elig[j] = cached.compute_one(j, t)
+                else:
+                    ne = np.asarray(newly_eligible, dtype=np.intp)
+                    prio_at_elig[ne] = cached.compute_for(ne, t)
+
+            mx.queue.set(float(n_pending))
+            mx.running.set(float(n_running))
+
+            for pool in sorted(dirty):
+                pend = pending[pool]
+                run_pool = running[pool]
+                ledger = ledgers[pool]
+                while True:
+                    # Jobs under a requeue hold sit out this pass.
+                    if t < hold_horizon:
+                        view = pend.view()
+                        ready = view[hold_until[view] <= t]
+                    else:
+                        ready = pend.view()
+                    mx.depth.observe(float(len(ready)))
+                    started = vsched.run_pass(t, ready, run_pool, ledger)
+                    n_passes += 1
+                    n_started_total += len(started)
+                    n_backfilled_total += vsched.last_backfilled
+                    for j in started:
+                        pend.remove(j)
+                        # Event batching groups times within 1e-9 s; clamp
+                        # so a job never starts before its own eligibility.
+                        start = max(t, elig_l[j])
+                        start_arr[j] = start
+                        end = start + eff_run_s_l[j]
+                        end_arr[j] = end
+                        run_pool.add(j)
+                        start_seq[j] = next_seq
+                        vsched.schedule_insert(run_pool, j, start, next_seq)
+                        next_seq += 1
+                        q.push(end, _EV_END, j)
+                    n_pending -= len(started)
+                    n_running += len(started)
+                    if policy is None:
+                        break
+                    evicted = preempt(pool, ledger)
+                    if not evicted:
+                        break
+                    n_preemptions += len(evicted)
+                    n_pending += len(evicted)
+                    n_running -= len(evicted)
+                    mx.preempted.inc(len(evicted))
+                    release = t + policy.requeue_hold_s
+                    for j in evicted:
+                        hold_until[j] = release
+                    if release > hold_horizon:
+                        hold_horizon = release
+                    q.push(float(release), _EV_RELEASE, int(evicted[0]))
+
+        mx.passes.inc(n_passes)
+        mx.started.inc(n_started_total)
+        mx.backfilled.inc(n_backfilled_total)
+        mx.tombstoned.inc(q.tombstoned)
+        jobs["start_time"] = start_arr
+        jobs["end_time"] = end_arr
+        return self._finish(jobs, prio_at_elig, n_passes, n_preemptions)
+
+    # ------------------------------------------------------------------ #
+    # Reference engine: the original straight-line implementation, kept
+    # as the determinism oracle for the fast engine.
+    # ------------------------------------------------------------------ #
+    def _run_reference(self, jobs: np.ndarray, mx: _Metrics) -> SimulationResult:
+        n = len(jobs)
+        part_pool = self.cluster.partition_pool_ids()
+        pool_of_job = part_pool[jobs["partition"].astype(np.intp)]
+        ledgers = self._make_ledgers()
         pending: list[list[int]] = [[] for _ in self.cluster.pools]
         running: list[list[int]] = [[] for _ in self.cluster.pools]
         prio_at_elig = np.zeros(n, dtype=np.float64)
@@ -201,33 +526,6 @@ class Simulator:
             )
             seq += 1
         heapq.heapify(heap)
-
-        # Metric handles resolved once; per-pass updates are attribute
-        # bumps (or no-ops with telemetry disabled).
-        reg = metrics.get_registry()
-        queue_gauge = reg.gauge("sim_queue_depth", help="pending jobs across all pools")
-        running_gauge = reg.gauge(
-            "sim_running_jobs", help="running jobs across all pools"
-        )
-        passes_ctr = reg.counter(
-            "sim_scheduler_passes_total", help="scheduling passes executed"
-        )
-        started_ctr = reg.counter(
-            "sim_jobs_started_total", help="job starts (requeued jobs count again)"
-        )
-        backfill_ctr = reg.counter(
-            "sim_jobs_backfilled_total", help="jobs started via EASY backfill"
-        )
-        preempt_ctr = reg.counter(
-            "sim_preemptions_total", help="running jobs evicted by preemption"
-        )
-        # Queue depth is a dimensionless job count — none of the unit
-        # suffixes apply, and the name is a published PR-3 surface.
-        depth_hist = reg.histogram(  # repro: ignore[OBS001]
-            "sim_queue_depth_per_pass",
-            help="pool queue depth seen by each scheduling pass",
-            buckets=metrics.log_buckets(1.0, 1e5),
-        )
 
         n_passes = 0
         t = 0.0
@@ -273,24 +571,30 @@ class Simulator:
                     qos=jobs["qos"][ne],
                 )
 
-            queue_gauge.set(float(sum(len(p) for p in pending)))
-            running_gauge.set(float(sum(len(r) for r in running)))
+            mx.queue.set(float(sum(len(p) for p in pending)))
+            mx.running.set(float(sum(len(r) for r in running)))
 
-            for pool in dirty:
+            # Sorted: set iteration order is unspecified, and multi-pool
+            # batches must replay identically across runs (fair-share
+            # charges are order-sensitive at equal timestamps).
+            for pool in sorted(dirty):
+                # Jobs under a requeue hold sit out this pool's passes;
+                # started jobs leave ``ready`` inside run_pass and evicted
+                # jobs are held past ``t``, so one filter per pool
+                # suffices — no rebuild inside the requeue-hold loop.
+                if self.preemption is not None:
+                    ready = [j for j in pending[pool] if hold_until[j] <= t]
+                else:
+                    ready = pending[pool]
                 while True:
-                    # Jobs under a requeue hold sit out this pass.
-                    if self.preemption is not None:
-                        ready = [j for j in pending[pool] if hold_until[j] <= t]
-                    else:
-                        ready = pending[pool]
-                    depth_hist.observe(float(len(ready)))
+                    mx.depth.observe(float(len(ready)))
                     started = self.scheduler.run_pass(
                         t, jobs, ready, running[pool], ledgers[pool]
                     )
                     n_passes += 1
-                    passes_ctr.inc()
-                    started_ctr.inc(len(started))
-                    backfill_ctr.inc(self.scheduler.last_backfilled)
+                    mx.passes.inc()
+                    mx.started.inc(len(started))
+                    mx.backfilled.inc(self.scheduler.last_backfilled)
                     if ready is not pending[pool]:
                         for j in started:
                             pending[pool].remove(j)
@@ -312,7 +616,7 @@ class Simulator:
                     if not evicted:
                         break
                     n_preemptions += len(evicted)
-                    preempt_ctr.inc(len(evicted))
+                    mx.preempted.inc(len(evicted))
                     release = t + self.preemption.requeue_hold_s
                     for j in evicted:
                         hold_until[j] = release
@@ -321,6 +625,17 @@ class Simulator:
                     )
                     seq += 1
 
+        return self._finish(jobs, prio_at_elig, n_passes, n_preemptions)
+
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self,
+        jobs: np.ndarray,
+        prio_at_elig: np.ndarray,
+        n_passes: int,
+        n_preemptions: int,
+    ) -> SimulationResult:
+        n = len(jobs)
         unstarted = np.flatnonzero(jobs["start_time"] < 0)
         if len(unstarted):
             raise RuntimeError(
@@ -365,8 +680,11 @@ class Simulator:
         victims = [j for j in running if int(jobs["qos"][j]) < head_qos]
         if not victims:
             return []
-        # Most recently started first: minimises wasted work.
-        victims.sort(key=lambda j: -float(jobs["start_time"][j]))
+        # Most recently started first: minimises wasted work.  Stable
+        # argsort over the gathered start times keeps the running-list
+        # tiebreak of the equivalent per-victim key sort.
+        starts = jobs["start_time"][np.asarray(victims, dtype=np.intp)]
+        victims = [victims[k] for k in np.argsort(-starts, kind="stable")]
         need = (
             float(jobs["req_cpus"][head]),
             float(jobs["req_mem_gb"][head]),
